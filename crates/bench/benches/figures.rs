@@ -1,0 +1,215 @@
+//! Criterion benches: one per paper table/figure, timing the workload that
+//! regenerates it (at reduced scale so Criterion's repeated sampling stays
+//! affordable — the full data generation lives in the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcf_bench::Scale;
+use pcf_core::{
+    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, solve_ffc, solve_pcf_ls,
+    solve_pcf_tf, tunnel_instance, FailureModel, RobustOptions, ScenarioCoverage,
+};
+use pcf_topology::transform::split_sublinks;
+use pcf_topology::zoo;
+use std::hint::black_box;
+
+/// A single tiny scale shared by all benches.
+fn tiny() -> Scale {
+    Scale {
+        topologies: vec!["Sprint"],
+        big_topology: "Sprint",
+        tm_count: 1,
+        optimal_cap: 10,
+        ..Scale::quick()
+    }
+}
+
+fn bench_fig2_and_table1(c: &mut Criterion) {
+    c.bench_function("fig2/fig1_examples", |b| {
+        b.iter(|| black_box(pcf_bench::fig2()))
+    });
+    c.bench_function("table1/fig5_all_schemes", |b| {
+        b.iter(|| black_box(pcf_bench::table1()))
+    });
+}
+
+fn bench_fig8_ffc_tunnel_sweep(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = zoo::build("Sprint");
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(1);
+    let opts = RobustOptions::default();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        g.bench_function(format!("ffc_{k}_tunnels"), |b| {
+            b.iter(|| {
+                let inst = tunnel_instance(&w.topo, &w.tm, k);
+                black_box(solve_ffc(&inst, &fm, &opts).objective)
+            })
+        });
+    }
+    g.bench_function("optimal_sampled", |b| {
+        b.iter(|| {
+            black_box(
+                optimal_demand_scale(&w.topo, &w.tm, &fm, ScenarioCoverage::Sampled(10)).0,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9_pcf_tf(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = zoo::build("Sprint");
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(1);
+    let opts = RobustOptions::default();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for k in [2usize, 3, 4] {
+        g.bench_function(format!("pcf_tf_{k}_tunnels"), |b| {
+            b.iter(|| {
+                let inst = tunnel_instance(&w.topo, &w.tm, k);
+                black_box(solve_pcf_tf(&inst, &fm, &opts).objective)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_schemes(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = zoo::build("Sprint");
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(1);
+    let opts = RobustOptions::default();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("pcf_ls", |b| {
+        b.iter(|| {
+            let inst = pcf_ls_instance(&w.topo, &w.tm, 3);
+            black_box(solve_pcf_ls(&inst, &fm, &opts).objective)
+        })
+    });
+    g.bench_function("pcf_cls_pipeline", |b| {
+        b.iter(|| black_box(pcf_cls_pipeline(&w.topo, &w.tm, 3, &fm, &opts).solution.objective))
+    });
+    g.finish();
+}
+
+fn bench_fig11_row(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = zoo::build("Sprint");
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(1);
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("scheme_row_sprint", |b| {
+        b.iter(|| black_box(pcf_bench::scheme_row(&w, &fm, 2, 3, 10).pcf_cls))
+    });
+    g.finish();
+}
+
+fn bench_fig12_sublinks(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = split_sublinks(&zoo::build("Sprint"), 2);
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(3);
+    let opts = RobustOptions::default();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("ffc_4_tunnels_f3", |b| {
+        b.iter(|| {
+            let inst = tunnel_instance(&w.topo, &w.tm, 4);
+            black_box(solve_ffc(&inst, &fm, &opts).objective)
+        })
+    });
+    g.bench_function("pcf_tf_6_tunnels_f3", |b| {
+        b.iter(|| {
+            let inst = tunnel_instance(&w.topo, &w.tm, 6);
+            black_box(solve_pcf_tf(&inst, &fm, &opts).objective)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig13_throughput(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = split_sublinks(&zoo::build("Sprint"), 2);
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(3);
+    let opts = RobustOptions {
+        objective: pcf_core::Objective::Throughput,
+        ..RobustOptions::default()
+    };
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("throughput_pcf_tf_f3", |b| {
+        b.iter(|| {
+            let inst = tunnel_instance(&w.topo, &w.tm, 6);
+            black_box(solve_pcf_tf(&inst, &fm, &opts).objective)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig14_solve_times(c: &mut Criterion) {
+    // Fig. 14 *is* a timing figure; this group is its per-topology data
+    // point at bench fidelity.
+    let scale = tiny();
+    let topo = split_sublinks(&zoo::build("Sprint"), 2);
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(3);
+    let opts = RobustOptions::default();
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("offline_pcf_tf", |b| {
+        b.iter(|| {
+            let inst = tunnel_instance(&w.topo, &w.tm, 6);
+            black_box(solve_pcf_tf(&inst, &fm, &opts).objective)
+        })
+    });
+    g.bench_function("offline_pcf_cls", |b| {
+        b.iter(|| black_box(pcf_cls_pipeline(&w.topo, &w.tm, 6, &fm, &opts).solution.objective))
+    });
+    g.bench_function("optimal_one_scenario", |b| {
+        let mask = vec![false; w.topo.link_count()];
+        b.iter(|| {
+            black_box(pcf_core::max_concurrent_flow(&w.topo, &w.tm, Some(&mask)).value())
+        })
+    });
+    g.finish();
+}
+
+fn bench_topsort(c: &mut Criterion) {
+    let scale = tiny();
+    let topo = zoo::build("Sprint");
+    let w = pcf_bench::workload(&topo, 100, &scale);
+    let fm = FailureModel::links(1);
+    let opts = RobustOptions::default();
+    let cls = pcf_cls_pipeline(&w.topo, &w.tm, 3, &fm, &opts);
+    let all: Vec<_> = cls
+        .instance
+        .ls_ids()
+        .map(|q| cls.instance.ls(q).clone())
+        .collect();
+    let mut g = c.benchmark_group("topsort");
+    g.bench_function("greedy_topsort", |b| {
+        b.iter(|| black_box(pcf_core::greedy_topsort(&all).1))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_and_table1,
+    bench_fig8_ffc_tunnel_sweep,
+    bench_fig9_pcf_tf,
+    bench_fig10_schemes,
+    bench_fig11_row,
+    bench_fig12_sublinks,
+    bench_fig13_throughput,
+    bench_fig14_solve_times,
+    bench_topsort,
+);
+criterion_main!(figures);

@@ -1,0 +1,142 @@
+//! Criterion benches for the substrate: LP solver, linear systems, paths,
+//! and the online failure-response step (the paper's "solving a linear
+//! system is much faster than solving LPs" claim, §4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcf_core::realize::{proportional_routing, realize_routing, FailureState};
+use pcf_core::{pcf_ls_instance, solve_pcf_ls, FailureModel, RobustOptions};
+use pcf_lp::{solve_dense, solve_gauss_seidel, DenseMatrix, LpProblem, Sense};
+use pcf_topology::zoo;
+use pcf_traffic::gravity;
+use std::hint::black_box;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp");
+    g.sample_size(20);
+    // A structured LP: transportation problem 12x12.
+    g.bench_function("simplex_transportation_12x12", |b| {
+        b.iter(|| {
+            let n = 12;
+            let mut lp = LpProblem::new(Sense::Minimize);
+            let mut v = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    v.push(lp.add_nonneg(((i * 7 + j * 3) % 10 + 1) as f64));
+                }
+            }
+            for i in 0..n {
+                lp.add_eq((0..n).map(|j| (v[i * n + j], 1.0)), 1.0);
+            }
+            for j in 0..n {
+                lp.add_eq((0..n).map(|i| (v[i * n + j], 1.0)), 1.0);
+            }
+            black_box(lp.solve().unwrap().objective)
+        })
+    });
+    g.finish();
+}
+
+fn bench_linear_system_vs_lp(c: &mut Criterion) {
+    // The paper's §4.1 point: responding to a failure needs only a linear
+    // system solve, much cheaper than re-running an optimization.
+    let topo = zoo::build("Sprint");
+    let tm = gravity(&topo, 5);
+    let inst = pcf_ls_instance(&topo, &tm, 3);
+    let fm = FailureModel::links(1);
+    let sol = solve_pcf_ls(&inst, &fm, &RobustOptions::default());
+    let served: Vec<f64> = inst
+        .pair_ids()
+        .map(|p| sol.z[p.0] * inst.demand(p))
+        .collect();
+    let mut dead = vec![false; topo.link_count()];
+    dead[0] = true;
+    let state = FailureState::new(&inst, &dead);
+
+    let mut g = c.benchmark_group("online_response");
+    g.bench_function("linear_system_routing", |b| {
+        b.iter(|| {
+            black_box(
+                realize_routing(&inst, &state, &sol.a, &sol.b, &served, 1e-6)
+                    .unwrap()
+                    .u
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("proportional_routing", |b| {
+        b.iter(|| {
+            black_box(
+                proportional_routing(&inst, &state, &sol.a, &sol.b, &served, 1e-6)
+                    .unwrap()
+                    .u
+                    .len(),
+            )
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("full_offline_resolve_for_comparison", |b| {
+        b.iter(|| black_box(solve_pcf_ls(&inst, &fm, &RobustOptions::default()).objective))
+    });
+    g.finish();
+}
+
+fn bench_mmatrix_solvers(c: &mut Criterion) {
+    // Diagonally dominant M-matrix, n = 100.
+    let n = 100;
+    let mut m = DenseMatrix::zeros(n);
+    for i in 0..n {
+        m.set(i, i, 4.0);
+        m.set(i, (i + 1) % n, -1.0);
+        m.set(i, (i + 7) % n, -0.5);
+    }
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut g = c.benchmark_group("linsys");
+    g.bench_function("dense_gaussian_100", |bch| {
+        bch.iter(|| black_box(solve_dense(&m, &[b.clone()]).unwrap()[0][0]))
+    });
+    g.bench_function("gauss_seidel_100", |bch| {
+        bch.iter(|| black_box(solve_gauss_seidel(&m, &b, 1e-10, 1000).unwrap()[0]))
+    });
+    g.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let topo = zoo::build("Deltacom");
+    let mut g = c.benchmark_group("paths");
+    g.bench_function("yen_8_deltacom", |b| {
+        b.iter(|| {
+            black_box(
+                pcf_paths::yen_k_shortest(
+                    &topo,
+                    pcf_topology::NodeId(0),
+                    pcf_topology::NodeId(60),
+                    8,
+                )
+                .len(),
+            )
+        })
+    });
+    g.bench_function("select_3_tunnels_deltacom", |b| {
+        b.iter(|| {
+            black_box(
+                pcf_paths::select_tunnels(
+                    &topo,
+                    pcf_topology::NodeId(0),
+                    pcf_topology::NodeId(60),
+                    3,
+                )
+                .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    solver,
+    bench_simplex,
+    bench_linear_system_vs_lp,
+    bench_mmatrix_solvers,
+    bench_paths
+);
+criterion_main!(solver);

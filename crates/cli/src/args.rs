@@ -1,0 +1,103 @@
+//! Tiny hand-rolled argument parser (no external dependencies).
+//!
+//! Grammar: `pcf <command> [--flag value]...`. Flags may appear in any
+//! order; unknown flags are an error so typos fail fast.
+
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand and its `--flag value` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Error produced by [`Args::parse`] or typed accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the binary name) against a list of known
+    /// flags.
+    pub fn parse(argv: &[String], known: &[&str]) -> Result<Args, ArgError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing command".into()))?
+            .clone();
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!("expected --flag, got {tok:?}")));
+            };
+            if !known.contains(&name) {
+                return Err(ArgError(format!("unknown flag --{name}")));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("--{name} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&sv(&["solve", "--topology", "Sprint", "--f", "2"]), &["topology", "f"])
+            .unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.get("topology"), Some("Sprint"));
+        assert_eq!(a.get_or("f", 1usize).unwrap(), 2);
+        assert_eq!(a.get_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_and_duplicate_flags() {
+        assert!(Args::parse(&sv(&["solve", "--nope", "1"]), &["f"]).is_err());
+        assert!(Args::parse(&sv(&["solve", "--f", "1", "--f", "2"]), &["f"]).is_err());
+        assert!(Args::parse(&sv(&["solve", "--f"]), &["f"]).is_err());
+        assert!(Args::parse(&sv(&["solve", "f"]), &["f"]).is_err());
+        assert!(Args::parse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let a = Args::parse(&sv(&["solve", "--f", "nope"]), &["f"]).unwrap();
+        assert!(a.get_or("f", 1usize).is_err());
+    }
+}

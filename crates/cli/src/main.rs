@@ -1,0 +1,281 @@
+//! `pcf` — congestion-free traffic engineering from the command line.
+//!
+//! ```text
+//! pcf solve    --topology GEANT --scheme pcf-ls --f 1 [--tunnels 3] [--seed 1]
+//! pcf solve    --gml net.gml --scheme pcf-tf --f 2
+//! pcf audit    --topology B4 --scheme pcf-ls --f 1       # validate all scenarios
+//! pcf augment  --topology IBM --f 1 --target 1.2          # capacity to reach z*
+//! pcf topology --topology Deltacom                        # inspect a topology
+//! ```
+//!
+//! Topologies come from the built-in evaluation set (`--topology <name>`)
+//! or a Topology Zoo GML file (`--gml <path>`); traffic is a gravity matrix
+//! normalised to optimal-routing MLU 0.6 (`--seed` selects the draw;
+//! `--mlu` overrides the target).
+
+mod args;
+
+use args::{ArgError, Args};
+use pcf_core::validate::validate_all;
+use pcf_core::{
+    augment_capacity, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
+    solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions,
+    RobustSolution,
+};
+use pcf_topology::Topology;
+use pcf_traffic::{gravity, TrafficMatrix};
+
+const FLAGS: &[&str] = &[
+    "topology", "gml", "scheme", "f", "tunnels", "seed", "mlu", "target", "max-pairs",
+];
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        usage();
+        return;
+    }
+    match run(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "pcf — provably congestion-free traffic engineering (PCF, SIGCOMM 2020)\n\
+         \n\
+         commands:\n\
+         \x20 solve     compute a congestion-free allocation\n\
+         \x20 audit     solve, then validate every targeted failure scenario\n\
+         \x20 augment   cheapest capacity additions to reach --target demand scale\n\
+         \x20 topology  print a topology summary\n\
+         \n\
+         flags:\n\
+         \x20 --topology <name>   built-in evaluation topology (e.g. Sprint, GEANT)\n\
+         \x20 --gml <path>        Topology Zoo GML file instead of --topology\n\
+         \x20 --scheme <s>        ffc | pcf-tf | pcf-ls | pcf-cls | r3   (default pcf-ls)\n\
+         \x20 --f <n>             simultaneous link failures to survive  (default 1)\n\
+         \x20 --tunnels <k>       tunnels per pair                       (default 3)\n\
+         \x20 --seed <n>          gravity traffic seed                   (default 1)\n\
+         \x20 --mlu <x>           optimal-routing MLU target             (default 0.6)\n\
+         \x20 --max-pairs <n>     keep only the n heaviest demands       (default 200)\n\
+         \x20 --target <z>        (augment) demand scale to guarantee"
+    );
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(argv, FLAGS)?;
+    let topo = load_topology(&args)?;
+    match args.command.as_str() {
+        "topology" => {
+            describe(&topo);
+            Ok(())
+        }
+        "solve" => {
+            let (inst, sol, scheme) = solve(&args, &topo)?;
+            report(&topo, &inst, &sol, &scheme);
+            Ok(())
+        }
+        "audit" => {
+            let f = args.get_or("f", 1usize)?;
+            let (inst, sol, scheme) = solve(&args, &topo)?;
+            report(&topo, &inst, &sol, &scheme);
+            let served: Vec<f64> = inst
+                .pair_ids()
+                .map(|p| sol.z[p.0] * inst.demand(p))
+                .collect();
+            let fm = FailureModel::links(f);
+            let report = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
+            println!(
+                "audit: {} scenarios, max utilization {:.4} -> {}",
+                report.scenarios,
+                report.max_utilization,
+                if report.congestion_free() {
+                    "CONGESTION-FREE"
+                } else {
+                    "VIOLATIONS FOUND"
+                }
+            );
+            if !report.congestion_free() {
+                std::process::exit(1);
+            }
+            Ok(())
+        }
+        "augment" => {
+            let f = args.get_or("f", 1usize)?;
+            let target: f64 = args
+                .get("target")
+                .ok_or(ArgError("augment needs --target".into()))?
+                .parse()
+                .map_err(|_| ArgError("--target must be a number".into()))?;
+            let tm = load_traffic(&args, &topo)?;
+            let k = args.get_or("tunnels", 3usize)?;
+            let inst = tunnel_instance(&topo, &tm, k);
+            let aug = augment_capacity(
+                &inst,
+                &FailureModel::links(f),
+                target,
+                |_| 1.0,
+                &RobustOptions::default(),
+            )
+            .ok_or(ArgError("augmentation did not converge".into()))?;
+            println!(
+                "target demand scale {target} under {f} failures: add {:.4} capacity units",
+                aug.total_cost
+            );
+            for l in topo.links() {
+                if aug.extra[l.index()] > 1e-6 {
+                    let link = topo.link(l);
+                    println!(
+                        "  {} ({} - {}): {:.2} -> {:.2}",
+                        l,
+                        topo.node_name(link.u),
+                        topo.node_name(link.v),
+                        link.capacity,
+                        link.capacity + aug.extra[l.index()]
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(Box::new(ArgError(format!("unknown command {other:?}")))),
+    }
+}
+
+fn load_topology(args: &Args) -> Result<Topology, Box<dyn std::error::Error>> {
+    match (args.get("gml"), args.get("topology")) {
+        (Some(path), _) => {
+            let src = std::fs::read_to_string(path)?;
+            let raw = pcf_topology::gml::parse_gml(&src)?;
+            let (pruned, _) = pcf_topology::transform::prune_degree_one(&raw);
+            if pruned.node_count() == 0 {
+                return Err(Box::new(ArgError(
+                    "topology is a tree: nothing survives degree-1 pruning".into(),
+                )));
+            }
+            Ok(pruned)
+        }
+        (None, Some(name)) => {
+            if !pcf_topology::zoo::names().contains(&name) {
+                return Err(Box::new(ArgError(format!(
+                    "unknown topology {name:?}; available: {}",
+                    pcf_topology::zoo::names().join(", ")
+                ))));
+            }
+            Ok(pcf_topology::zoo::build(name))
+        }
+        (None, None) => Err(Box::new(ArgError(
+            "need --topology <name> or --gml <path>".into(),
+        ))),
+    }
+}
+
+fn load_traffic(args: &Args, topo: &Topology) -> Result<TrafficMatrix, Box<dyn std::error::Error>> {
+    let seed = args.get_or("seed", 1u64)?;
+    let mlu = args.get_or("mlu", 0.6f64)?;
+    let max_pairs = args.get_or("max-pairs", 200usize)?;
+    let (mut tm, _) = scale_to_mlu(topo, &gravity(topo, seed), mlu);
+    tm.truncate_to_top_k(max_pairs);
+    Ok(tm)
+}
+
+fn solve(
+    args: &Args,
+    topo: &Topology,
+) -> Result<(Instance, RobustSolution, String), Box<dyn std::error::Error>> {
+    let f = args.get_or("f", 1usize)?;
+    let k = args.get_or("tunnels", 3usize)?;
+    let scheme = args.get("scheme").unwrap_or("pcf-ls").to_string();
+    let tm = load_traffic(args, topo)?;
+    let fm = FailureModel::links(f);
+    let opts = RobustOptions::default();
+    let (inst, sol) = match scheme.as_str() {
+        "ffc" => {
+            let inst = tunnel_instance(topo, &tm, k);
+            let sol = solve_ffc(&inst, &fm, &opts);
+            (inst, sol)
+        }
+        "pcf-tf" => {
+            let inst = tunnel_instance(topo, &tm, k);
+            let sol = solve_pcf_tf(&inst, &fm, &opts);
+            (inst, sol)
+        }
+        "pcf-ls" => {
+            let inst = pcf_ls_instance(topo, &tm, k);
+            let sol = solve_pcf_ls(&inst, &fm, &opts);
+            (inst, sol)
+        }
+        "pcf-cls" => {
+            let cls = pcf_cls_pipeline(topo, &tm, k, &fm, &opts);
+            (cls.instance, cls.solution)
+        }
+        "r3" => {
+            // R3 has no tunnel/LS plan to audit; report and exit here.
+            let r3 = solve_r3(topo, &tm, f);
+            println!(
+                "R3 on {} (f={f}): guaranteed demand scale {:.4}",
+                topo.name(),
+                r3.objective
+            );
+            std::process::exit(0);
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown scheme {other:?} (ffc | pcf-tf | pcf-ls | pcf-cls | r3)"
+            ))))
+        }
+    };
+    Ok((inst, sol, scheme))
+}
+
+fn report(topo: &Topology, inst: &Instance, sol: &RobustSolution, scheme: &str) {
+    println!(
+        "{scheme} on {} ({} nodes, {} links): guaranteed demand scale {:.4}",
+        topo.name(),
+        topo.node_count(),
+        topo.link_count(),
+        sol.objective
+    );
+    println!(
+        "  {} pairs, {} tunnels, {} logical sequences; {} cutting-plane rounds, {} cuts",
+        inst.num_pairs(),
+        inst.num_tunnels(),
+        inst.num_lss(),
+        sol.rounds,
+        sol.cuts
+    );
+    if sol.objective > 1e-9 {
+        println!("  max link utilization at guarantee: {:.4}", 1.0 / sol.objective);
+    } else {
+        println!("  no traffic can be guaranteed under this failure budget");
+    }
+}
+
+fn describe(topo: &Topology) {
+    println!(
+        "{}: {} nodes, {} links, total capacity {:.1}",
+        topo.name(),
+        topo.node_count(),
+        topo.link_count(),
+        topo.total_capacity()
+    );
+    println!(
+        "  2-edge-connected: {}  bridges: {}",
+        topo.is_two_edge_connected(),
+        topo.bridges().len()
+    );
+    let mut degs: Vec<usize> = topo.nodes().map(|n| topo.degree(n)).collect();
+    degs.sort_unstable();
+    println!(
+        "  degree min/median/max: {}/{}/{}",
+        degs.first().unwrap_or(&0),
+        degs.get(degs.len() / 2).unwrap_or(&0),
+        degs.last().unwrap_or(&0)
+    );
+}

@@ -1,0 +1,434 @@
+//! Failure modeling: targeted failure sets, conditions, and enumeration.
+//!
+//! The paper designs for all scenarios of up to `f` simultaneous link
+//! failures (§3.2, Eq. 4), and generalizes to shared-risk link groups and
+//! node failures by imposing the budget on *group* indicators instead of
+//! individual links (§3.5).
+
+use pcf_topology::{LinkId, Topology};
+
+/// The set of failure scenarios a design must survive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureModel {
+    /// Up to `f` simultaneous link failures (Eq. 4's `sum x_e <= f`).
+    Links {
+        /// Maximum simultaneous link failures.
+        f: usize,
+    },
+    /// Up to `f` simultaneous group failures; a group's failure kills all
+    /// its links. Models SRLGs (arbitrary groups) and node failures (one
+    /// group per node containing its incident links), §3.5.
+    Groups {
+        /// The link groups that fail atomically.
+        groups: Vec<Vec<LinkId>>,
+        /// Maximum simultaneous group failures.
+        f: usize,
+    },
+    /// An explicit, enumerated scenario list (each scenario = the set of
+    /// links that die together). This is how probabilistically pruned
+    /// designs in the style of Teavar/Lancet (discussed in §6) plug in: the
+    /// caller enumerates the scenarios whose probability mass matters and
+    /// designs for exactly those. The adversary is then *exact* — no
+    /// relaxation of `x` — which also makes this the reference point for
+    /// measuring the conservatism of the paper's `x ∈ [0,1]` relaxation.
+    Explicit {
+        /// The scenarios to protect against (the empty scenario is implied).
+        scenarios: Vec<Vec<LinkId>>,
+    },
+}
+
+impl FailureModel {
+    /// Convenience constructor for plain link failures.
+    pub fn links(f: usize) -> Self {
+        FailureModel::Links { f }
+    }
+
+    /// One failure group per node: all links incident to the node die
+    /// together (§3.5 node failures).
+    pub fn node_failures(topo: &Topology, f: usize) -> Self {
+        let groups = topo
+            .nodes()
+            .map(|n| topo.incident(n).iter().map(|&(_, l)| l).collect())
+            .collect();
+        FailureModel::Groups { groups, f }
+    }
+
+    /// The failure budget `f` (for explicit lists: the largest scenario's
+    /// cardinality, which is what FFC's `f · p_st` bound consumes).
+    pub fn budget(&self) -> usize {
+        match self {
+            FailureModel::Links { f } => *f,
+            FailureModel::Groups { f, .. } => *f,
+            FailureModel::Explicit { scenarios } => {
+                scenarios.iter().map(|s| s.len()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Builds the explicit scenario list containing every independent-link
+    /// failure combination whose probability is at least `min_prob`, given
+    /// a per-link failure probability. Scenarios are explored in decreasing
+    /// probability; at most `cap` scenarios are returned (a Lancet-style
+    /// pruned design set).
+    pub fn pruned_by_probability(
+        topo: &Topology,
+        link_prob: &[f64],
+        min_prob: f64,
+        cap: usize,
+    ) -> Self {
+        assert_eq!(link_prob.len(), topo.link_count());
+        assert!(link_prob.iter().all(|&p| (0.0..1.0).contains(&p)));
+        // Probability of "exactly this set fails" relative to the all-alive
+        // scenario: prod p_e / (1 - p_e); rank sets by that ratio.
+        let mut ratio: Vec<(usize, f64)> = link_prob
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, p / (1.0 - p)))
+            .filter(|&(_, r)| r > 0.0)
+            .collect();
+        ratio.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let base: f64 = link_prob.iter().map(|&p| 1.0 - p).product();
+
+        /// Total order on finite non-negative f64 for the best-first heap.
+        #[derive(PartialEq)]
+        struct Prob(f64);
+        impl Eq for Prob {}
+        impl PartialOrd for Prob {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Prob {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.partial_cmp(&other.0).expect("finite probabilities")
+            }
+        }
+
+        // Best-first search over subsets (by scenario probability).
+        let mut heap: std::collections::BinaryHeap<(Prob, Vec<usize>)> =
+            std::collections::BinaryHeap::new();
+        let mut out: Vec<Vec<LinkId>> = Vec::new();
+        for (idx, &(_, r)) in ratio.iter().enumerate() {
+            heap.push((Prob(base * r), vec![idx]));
+        }
+        while let Some((Prob(p), set)) = heap.pop() {
+            if p < min_prob || out.len() >= cap {
+                break;
+            }
+            out.push(set.iter().map(|&i| LinkId(ratio[i].0 as u32)).collect());
+            // Extend with strictly larger-indexed links to avoid duplicates.
+            let last = *set.last().expect("non-empty set");
+            for next in (last + 1)..ratio.len() {
+                let mut bigger = set.clone();
+                bigger.push(next);
+                heap.push((Prob(p * ratio[next].1), bigger));
+            }
+        }
+        FailureModel::Explicit { scenarios: out }
+    }
+
+    /// Enumerates every concrete worst-cardinality scenario as a dead-link
+    /// mask (all subsets of exactly `f` links/groups; failures only remove
+    /// capacity, so sub-budget scenarios are dominated for validation and
+    /// optimal baselines).
+    ///
+    /// The number of scenarios is `C(n, f)` — call only when that is small
+    /// enough, or use [`FailureModel::sample_scenarios`].
+    pub fn enumerate_scenarios(&self, topo: &Topology) -> Vec<Vec<bool>> {
+        if let FailureModel::Explicit { scenarios } = self {
+            return scenarios
+                .iter()
+                .map(|dead| {
+                    let mut mask = vec![false; topo.link_count()];
+                    for l in dead {
+                        mask[l.index()] = true;
+                    }
+                    mask
+                })
+                .collect();
+        }
+        let groups: Vec<Vec<LinkId>> = match self {
+            FailureModel::Links { .. } => topo.links().map(|l| vec![l]).collect(),
+            FailureModel::Groups { groups, .. } => groups.clone(),
+            FailureModel::Explicit { .. } => unreachable!(),
+        };
+        let f = self.budget().min(groups.len());
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..f).collect();
+        if f == 0 {
+            out.push(vec![false; topo.link_count()]);
+            return out;
+        }
+        loop {
+            let mut mask = vec![false; topo.link_count()];
+            for &g in &idx {
+                for l in &groups[g] {
+                    mask[l.index()] = true;
+                }
+            }
+            out.push(mask);
+            // next combination
+            let n = groups.len();
+            let mut i = f;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] + (f - i) < n {
+                    idx[i] += 1;
+                    for j in (i + 1)..f {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of worst-cardinality scenarios without materialising them.
+    pub fn scenario_count(&self, topo: &Topology) -> usize {
+        let n = match self {
+            FailureModel::Links { .. } => topo.link_count(),
+            FailureModel::Groups { groups, .. } => groups.len(),
+            FailureModel::Explicit { scenarios } => return scenarios.len(),
+        };
+        let f = self.budget().min(n);
+        // C(n, f), saturating.
+        let mut c: usize = 1;
+        for i in 0..f {
+            c = c.saturating_mul(n - i) / (i + 1);
+        }
+        c
+    }
+
+    /// A deterministic sample of `count` distinct scenarios (dead-link
+    /// masks), used when full enumeration is intractable. Sampling scenarios
+    /// yields an *optimistic* (upper) bound when used for worst-case minima;
+    /// callers must report that.
+    pub fn sample_scenarios(&self, topo: &Topology, count: usize, seed: u64) -> Vec<Vec<bool>> {
+        let total = self.scenario_count(topo);
+        if total <= count {
+            return self.enumerate_scenarios(topo);
+        }
+        if let FailureModel::Explicit { .. } = self {
+            let mut all = self.enumerate_scenarios(topo);
+            all.truncate(count);
+            return all;
+        }
+        let groups: Vec<Vec<LinkId>> = match self {
+            FailureModel::Links { .. } => topo.links().map(|l| vec![l]).collect(),
+            FailureModel::Groups { groups, .. } => groups.clone(),
+            FailureModel::Explicit { .. } => unreachable!(),
+        };
+        let f = self.budget().min(groups.len());
+        let n = groups.len();
+        // Simple deterministic LCG to avoid threading RNG deps here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut guard = 0usize;
+        while out.len() < count && guard < 100 * count {
+            guard += 1;
+            let mut pick: Vec<usize> = Vec::with_capacity(f);
+            while pick.len() < f {
+                let g = next() % n;
+                if !pick.contains(&g) {
+                    pick.push(g);
+                }
+            }
+            pick.sort_unstable();
+            if !seen.insert(pick.clone()) {
+                continue;
+            }
+            let mut mask = vec![false; topo.link_count()];
+            for &g in &pick {
+                for l in &groups[g] {
+                    mask[l.index()] = true;
+                }
+            }
+            out.push(mask);
+        }
+        out
+    }
+}
+
+/// Activation condition of a logical sequence or logical flow (§3.4 and the
+/// appendix's generalised conditions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Always active.
+    Always,
+    /// Active exactly when the given link is dead (`h_q = x_e`).
+    LinkDead(LinkId),
+    /// Active when all links in `alive` are up and all links in `dead` are
+    /// down (appendix linearization).
+    AliveDead {
+        /// Links that must be alive.
+        alive: Vec<LinkId>,
+        /// Links that must be dead.
+        dead: Vec<LinkId>,
+    },
+}
+
+impl Condition {
+    /// Evaluates the condition under a concrete dead-link mask.
+    pub fn holds(&self, dead_mask: &[bool]) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::LinkDead(e) => dead_mask[e.index()],
+            Condition::AliveDead { alive, dead } => {
+                alive.iter().all(|e| !dead_mask[e.index()])
+                    && dead.iter().all(|e| dead_mask[e.index()])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcf_topology::zoo;
+
+    #[test]
+    fn enumerate_single_failures_is_one_per_link() {
+        let t = zoo::build("Sprint");
+        let fm = FailureModel::links(1);
+        let sc = fm.enumerate_scenarios(&t);
+        assert_eq!(sc.len(), t.link_count());
+        for mask in &sc {
+            assert_eq!(mask.iter().filter(|&&d| d).count(), 1);
+        }
+    }
+
+    #[test]
+    fn enumerate_double_failures_counts_pairs() {
+        let t = zoo::build("Sprint"); // 17 links
+        let fm = FailureModel::links(2);
+        let sc = fm.enumerate_scenarios(&t);
+        assert_eq!(sc.len(), 17 * 16 / 2);
+        assert_eq!(fm.scenario_count(&t), 17 * 16 / 2);
+    }
+
+    #[test]
+    fn zero_budget_is_the_no_failure_scenario() {
+        let t = zoo::build("Sprint");
+        let fm = FailureModel::links(0);
+        let sc = fm.enumerate_scenarios(&t);
+        assert_eq!(sc.len(), 1);
+        assert!(sc[0].iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn node_failure_groups_kill_incident_links() {
+        let t = zoo::build("Sprint");
+        let fm = FailureModel::node_failures(&t, 1);
+        let sc = fm.enumerate_scenarios(&t);
+        assert_eq!(sc.len(), t.node_count());
+        // Scenario k kills exactly node k's incident links.
+        for (k, mask) in sc.iter().enumerate() {
+            let n = pcf_topology::NodeId(k as u32);
+            for l in t.links() {
+                let should = t.link(l).touches(n);
+                assert_eq!(mask[l.index()], should);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_returns_enumeration_when_small() {
+        let t = zoo::build("Sprint");
+        let fm = FailureModel::links(1);
+        let sc = fm.sample_scenarios(&t, 1000, 42);
+        assert_eq!(sc.len(), t.link_count());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let t = zoo::build("GEANT"); // 50 links, C(50,3) huge
+        let fm = FailureModel::links(3);
+        let a = fm.sample_scenarios(&t, 40, 7);
+        let b = fm.sample_scenarios(&t, 40, 7);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 40);
+        for mask in &a {
+            assert_eq!(mask.iter().filter(|&&d| d).count(), 3);
+        }
+    }
+
+    #[test]
+    fn conditions_evaluate() {
+        let t = zoo::build("Sprint");
+        let mut mask = vec![false; t.link_count()];
+        mask[3] = true;
+        assert!(Condition::Always.holds(&mask));
+        assert!(Condition::LinkDead(LinkId(3)).holds(&mask));
+        assert!(!Condition::LinkDead(LinkId(4)).holds(&mask));
+        let c = Condition::AliveDead {
+            alive: vec![LinkId(0)],
+            dead: vec![LinkId(3)],
+        };
+        assert!(c.holds(&mask));
+        mask[0] = true;
+        assert!(!c.holds(&mask));
+    }
+}
+
+#[cfg(test)]
+mod explicit_tests {
+    use super::*;
+    use pcf_topology::zoo;
+
+    #[test]
+    fn explicit_enumeration_round_trips() {
+        let t = zoo::build("Sprint");
+        let fm = FailureModel::Explicit {
+            scenarios: vec![vec![LinkId(0)], vec![LinkId(1), LinkId(2)]],
+        };
+        assert_eq!(fm.budget(), 2);
+        assert_eq!(fm.scenario_count(&t), 2);
+        let masks = fm.enumerate_scenarios(&t);
+        assert_eq!(masks.len(), 2);
+        assert!(masks[0][0] && !masks[0][1]);
+        assert!(masks[1][1] && masks[1][2]);
+    }
+
+    #[test]
+    fn pruning_orders_by_probability() {
+        let t = zoo::build("Sprint");
+        // Link 3 fails often; link 5 moderately; the rest rarely.
+        let mut probs = vec![0.001; t.link_count()];
+        probs[3] = 0.2;
+        probs[5] = 0.05;
+        let fm = FailureModel::pruned_by_probability(&t, &probs, 1e-4, 10);
+        let FailureModel::Explicit { scenarios } = &fm else {
+            panic!("pruning returns an explicit list")
+        };
+        assert!(!scenarios.is_empty());
+        // Most probable scenario first: {link 3} alone.
+        assert_eq!(scenarios[0], vec![LinkId(3)]);
+        // The pair {3,5} should rank above any {rare} singleton.
+        let pos_pair = scenarios.iter().position(|s| s.len() == 2).unwrap();
+        assert_eq!(scenarios[pos_pair], vec![LinkId(3), LinkId(5)]);
+        assert!(scenarios.len() <= 10);
+    }
+
+    #[test]
+    fn pruning_respects_cap_and_threshold() {
+        let t = zoo::build("Sprint");
+        let probs = vec![0.01; t.link_count()];
+        let fm = FailureModel::pruned_by_probability(&t, &probs, 0.0, 5);
+        assert_eq!(fm.scenario_count(&t), 5);
+        let fm2 = FailureModel::pruned_by_probability(&t, &probs, 0.999, 100);
+        // No scenario has probability 0.999.
+        assert_eq!(fm2.scenario_count(&t), 0);
+    }
+}

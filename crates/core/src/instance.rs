@@ -1,0 +1,528 @@
+//! Problem instances: a topology, demands, tunnels, and logical sequences.
+//!
+//! Every PCF/FFC model in this crate operates on an [`Instance`]: the pair
+//! set of interest, the physical tunnels `T(s,t)` serving each pair, and the
+//! logical sequences `L(s,t)` (paper §3.1, §3.3). The instance also indexes
+//! `Q(s,t)` — the logical sequences that use `(s,t)` as a segment — which
+//! appears on the right-hand side of the reservation constraints (7).
+
+use crate::failure::Condition;
+use pcf_paths::{select_tunnels, Path};
+use pcf_topology::{NodeId, Topology};
+use pcf_traffic::TrafficMatrix;
+use std::collections::HashMap;
+
+/// Index of an ordered node pair within an [`Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PairId(pub usize);
+
+/// Index of a tunnel within an [`Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TunnelId(pub usize);
+
+/// Index of a logical sequence within an [`Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LsId(pub usize);
+
+/// A logical sequence (paper §3.3): traffic from `hops.first()` to
+/// `hops.last()` traverses every hop in order; each consecutive hop pair is
+/// a *logical segment* served recursively by that pair's tunnels and logical
+/// sequences. A conditional LS only guarantees its reservation when
+/// `condition` holds (§3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalSequence {
+    /// Logical hops, source first, destination last; at least 3 entries
+    /// (a 2-hop "sequence" would be its own segment, which is vacuous).
+    pub hops: Vec<NodeId>,
+    /// Activation condition.
+    pub condition: Condition,
+}
+
+impl LogicalSequence {
+    /// An unconditional LS through the given hops.
+    pub fn always(hops: Vec<NodeId>) -> Self {
+        LogicalSequence {
+            hops,
+            condition: Condition::Always,
+        }
+    }
+
+    /// Source node.
+    pub fn source(&self) -> NodeId {
+        *self.hops.first().expect("LS has hops")
+    }
+
+    /// Destination node.
+    pub fn dest(&self) -> NodeId {
+        *self.hops.last().expect("LS has hops")
+    }
+
+    /// The ordered segments (consecutive hop pairs).
+    pub fn segments(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.hops.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+/// A fully indexed problem instance. Build with [`InstanceBuilder`].
+#[derive(Debug, Clone)]
+pub struct Instance {
+    topo: Topology,
+    pairs: Vec<(NodeId, NodeId)>,
+    pair_index: HashMap<(NodeId, NodeId), PairId>,
+    demand: Vec<f64>,
+    tunnels: Vec<Path>,
+    tunnel_pair: Vec<PairId>,
+    tunnels_of: Vec<Vec<TunnelId>>,
+    lss: Vec<LogicalSequence>,
+    ls_pair: Vec<PairId>,
+    lss_of: Vec<Vec<LsId>>,      // L(s,t)
+    segments_of: Vec<Vec<LsId>>, // Q(s,t)
+}
+
+impl Instance {
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of pairs of interest.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of tunnels across all pairs.
+    pub fn num_tunnels(&self) -> usize {
+        self.tunnels.len()
+    }
+
+    /// Number of logical sequences.
+    pub fn num_lss(&self) -> usize {
+        self.lss.len()
+    }
+
+    /// All pair ids.
+    pub fn pair_ids(&self) -> impl Iterator<Item = PairId> {
+        (0..self.pairs.len()).map(PairId)
+    }
+
+    /// The `(source, dest)` nodes of a pair.
+    pub fn pair(&self, p: PairId) -> (NodeId, NodeId) {
+        self.pairs[p.0]
+    }
+
+    /// Looks up the pair id for `(s, t)`, if it is a pair of interest.
+    pub fn pair_id(&self, s: NodeId, t: NodeId) -> Option<PairId> {
+        self.pair_index.get(&(s, t)).copied()
+    }
+
+    /// Demand of a pair (zero for pure segment pairs).
+    pub fn demand(&self, p: PairId) -> f64 {
+        self.demand[p.0]
+    }
+
+    /// Total demand over all pairs.
+    pub fn total_demand(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+
+    /// Tunnel ids of `T(s,t)`.
+    pub fn tunnels_of(&self, p: PairId) -> &[TunnelId] {
+        &self.tunnels_of[p.0]
+    }
+
+    /// The path of tunnel `l`.
+    pub fn tunnel(&self, l: TunnelId) -> &Path {
+        &self.tunnels[l.0]
+    }
+
+    /// The pair a tunnel belongs to.
+    pub fn tunnel_pair(&self, l: TunnelId) -> PairId {
+        self.tunnel_pair[l.0]
+    }
+
+    /// All tunnel ids.
+    pub fn tunnel_ids(&self) -> impl Iterator<Item = TunnelId> {
+        (0..self.tunnels.len()).map(TunnelId)
+    }
+
+    /// LS ids of `L(s,t)`.
+    pub fn lss_of(&self, p: PairId) -> &[LsId] {
+        &self.lss_of[p.0]
+    }
+
+    /// LS ids of `Q(s,t)`: sequences that use `(s,t)` as a segment.
+    pub fn segments_of(&self, p: PairId) -> &[LsId] {
+        &self.segments_of[p.0]
+    }
+
+    /// The logical sequence `q`.
+    pub fn ls(&self, q: LsId) -> &LogicalSequence {
+        &self.lss[q.0]
+    }
+
+    /// The pair an LS connects (its endpoints).
+    pub fn ls_pair(&self, q: LsId) -> PairId {
+        self.ls_pair[q.0]
+    }
+
+    /// All LS ids.
+    pub fn ls_ids(&self) -> impl Iterator<Item = LsId> {
+        (0..self.lss.len()).map(LsId)
+    }
+
+    /// `p_st` (paper §2): the maximum number of tunnels of this pair that
+    /// share a common link. 1 when the pair's tunnels are disjoint, 0 when
+    /// the pair has no tunnels.
+    pub fn p_st(&self, p: PairId) -> usize {
+        let mut usage: HashMap<u32, usize> = HashMap::new();
+        for &l in &self.tunnels_of[p.0] {
+            for link in &self.tunnels[l.0].links {
+                *usage.entry(link.0).or_insert(0) += 1;
+            }
+        }
+        usage.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Builder for [`Instance`].
+///
+/// Pairs of interest are the demand pairs, LS endpoint pairs, and LS segment
+/// pairs. Tunnels are selected per pair with
+/// [`pcf_paths::select_tunnels`] unless provided explicitly.
+pub struct InstanceBuilder {
+    topo: Topology,
+    demands: Vec<(NodeId, NodeId, f64)>,
+    tunnels_per_pair: usize,
+    auto_tunnels: bool,
+    explicit_tunnels: Vec<Path>,
+    extra_pairs: Vec<(NodeId, NodeId)>,
+    lss: Vec<LogicalSequence>,
+}
+
+impl InstanceBuilder {
+    /// Starts a builder over `topo` with demands from `tm` (strictly
+    /// positive entries only).
+    pub fn new(topo: &Topology, tm: &TrafficMatrix) -> Self {
+        assert_eq!(
+            topo.node_count(),
+            tm.node_count(),
+            "traffic matrix does not match topology"
+        );
+        InstanceBuilder {
+            topo: topo.clone(),
+            demands: tm
+                .positive_pairs()
+                .into_iter()
+                .map(|(s, t, d)| (s, t, d))
+                .collect(),
+            tunnels_per_pair: 3,
+            auto_tunnels: true,
+            explicit_tunnels: Vec::new(),
+            extra_pairs: Vec::new(),
+            lss: Vec::new(),
+        }
+    }
+
+    /// Starts a builder with an explicit demand list (used by the paper's
+    /// single-pair examples).
+    pub fn with_demands(topo: &Topology, demands: Vec<(NodeId, NodeId, f64)>) -> Self {
+        for &(s, t, d) in &demands {
+            assert!(s != t && d > 0.0, "demands must be off-diagonal and positive");
+        }
+        InstanceBuilder {
+            topo: topo.clone(),
+            demands,
+            tunnels_per_pair: 3,
+            auto_tunnels: true,
+            explicit_tunnels: Vec::new(),
+            extra_pairs: Vec::new(),
+            lss: Vec::new(),
+        }
+    }
+
+    /// Number of tunnels to select per pair (paper: 2–6). Default 3.
+    pub fn tunnels_per_pair(mut self, k: usize) -> Self {
+        self.tunnels_per_pair = k;
+        self
+    }
+
+    /// Registers `(s, t)` as a pair of interest even without demand or LS
+    /// membership (used by the logical-flow model for segment pairs, which
+    /// must carry reservations). The pair gets tunnels like any other.
+    pub fn add_pair(mut self, s: NodeId, t: NodeId) -> Self {
+        assert!(s != t, "pair endpoints must differ");
+        self.extra_pairs.push((s, t));
+        self
+    }
+
+    /// Disables automatic tunnel selection: only explicitly added tunnels
+    /// are used, and pairs without any tunnel get none (used by the paper's
+    /// examples where the tunnel set is part of the construction).
+    pub fn no_auto_tunnels(mut self) -> Self {
+        self.auto_tunnels = false;
+        self
+    }
+
+    /// Supplies explicit tunnels instead of automatic selection for their
+    /// endpoint pairs. Pairs without any explicit tunnel still get automatic
+    /// selection (unless [`InstanceBuilder::no_auto_tunnels`] is set).
+    pub fn add_tunnel(mut self, path: Path) -> Self {
+        assert!(!path.is_empty(), "tunnel must have at least one link");
+        self.explicit_tunnels.push(path);
+        self
+    }
+
+    /// Adds a logical sequence. Hops must be at least 3 nodes and
+    /// consecutive hops must differ.
+    pub fn add_ls(mut self, ls: LogicalSequence) -> Self {
+        assert!(ls.hops.len() >= 3, "LS needs at least one intermediate hop");
+        for w in ls.hops.windows(2) {
+            assert!(w[0] != w[1], "LS hops must not repeat consecutively");
+        }
+        self.lss.push(ls);
+        self
+    }
+
+    /// Builds the indexed instance.
+    pub fn build(self) -> Instance {
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut pair_index: HashMap<(NodeId, NodeId), PairId> = HashMap::new();
+        let mut demand: Vec<f64> = Vec::new();
+        let intern = |s: NodeId, t: NodeId, pairs: &mut Vec<(NodeId, NodeId)>,
+                          demand: &mut Vec<f64>,
+                          pair_index: &mut HashMap<(NodeId, NodeId), PairId>|
+         -> PairId {
+            *pair_index.entry((s, t)).or_insert_with(|| {
+                pairs.push((s, t));
+                demand.push(0.0);
+                PairId(pairs.len() - 1)
+            })
+        };
+        for &(s, t, d) in &self.demands {
+            let p = intern(s, t, &mut pairs, &mut demand, &mut pair_index);
+            demand[p.0] += d;
+        }
+        for &(s, t) in &self.extra_pairs {
+            intern(s, t, &mut pairs, &mut demand, &mut pair_index);
+        }
+        for ls in &self.lss {
+            intern(
+                ls.source(),
+                ls.dest(),
+                &mut pairs,
+                &mut demand,
+                &mut pair_index,
+            );
+            for (u, v) in ls.segments() {
+                intern(u, v, &mut pairs, &mut demand, &mut pair_index);
+            }
+        }
+
+        // Tunnels: explicit ones first (their pairs skip auto-selection).
+        let mut tunnels: Vec<Path> = Vec::new();
+        let mut tunnel_pair: Vec<PairId> = Vec::new();
+        let mut tunnels_of: Vec<Vec<TunnelId>> = vec![Vec::new(); pairs.len()];
+        let mut has_explicit = vec![false; pairs.len()];
+        for path in &self.explicit_tunnels {
+            let p = intern(
+                path.source(),
+                path.dest(),
+                &mut pairs,
+                &mut demand,
+                &mut pair_index,
+            );
+            if p.0 >= tunnels_of.len() {
+                tunnels_of.resize(p.0 + 1, Vec::new());
+                has_explicit.resize(p.0 + 1, false);
+            }
+            has_explicit[p.0] = true;
+            let id = TunnelId(tunnels.len());
+            tunnels.push(path.clone());
+            tunnel_pair.push(p);
+            tunnels_of[p.0].push(id);
+        }
+        for (pi, &(s, t)) in pairs.iter().enumerate() {
+            if has_explicit[pi] || !self.auto_tunnels {
+                continue;
+            }
+            for path in select_tunnels(&self.topo, s, t, self.tunnels_per_pair) {
+                let id = TunnelId(tunnels.len());
+                tunnels.push(path);
+                tunnel_pair.push(PairId(pi));
+                tunnels_of[pi].push(id);
+            }
+        }
+
+        // Logical sequences.
+        let mut lss: Vec<LogicalSequence> = Vec::new();
+        let mut ls_pair: Vec<PairId> = Vec::new();
+        let mut lss_of: Vec<Vec<LsId>> = vec![Vec::new(); pairs.len()];
+        let mut segments_of: Vec<Vec<LsId>> = vec![Vec::new(); pairs.len()];
+        for ls in self.lss {
+            let id = LsId(lss.len());
+            let p = pair_index[&(ls.source(), ls.dest())];
+            lss_of[p.0].push(id);
+            for (u, v) in ls.segments() {
+                let sp = pair_index[&(u, v)];
+                segments_of[sp.0].push(id);
+            }
+            ls_pair.push(p);
+            lss.push(ls);
+        }
+
+        Instance {
+            topo: self.topo,
+            pairs,
+            pair_index,
+            demand,
+            tunnels,
+            tunnel_pair,
+            tunnels_of,
+            lss,
+            ls_pair,
+            lss_of,
+            segments_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcf_topology::zoo;
+    use pcf_traffic::gravity;
+
+    #[test]
+    fn builder_interns_demand_pairs() {
+        let topo = zoo::build("Sprint");
+        let tm = gravity(&topo, 1);
+        let inst = InstanceBuilder::new(&topo, &tm).tunnels_per_pair(2).build();
+        assert_eq!(inst.num_pairs(), 90); // 10 * 9 ordered pairs
+        for p in inst.pair_ids() {
+            assert!(inst.demand(p) > 0.0);
+            assert!(!inst.tunnels_of(p).is_empty());
+            let (s, t) = inst.pair(p);
+            for &l in inst.tunnels_of(p) {
+                assert_eq!(inst.tunnel(l).source(), s);
+                assert_eq!(inst.tunnel(l).dest(), t);
+                assert_eq!(inst.tunnel_pair(l), p);
+            }
+        }
+    }
+
+    #[test]
+    fn ls_segments_create_pairs_and_q_index() {
+        let topo = zoo::build("Sprint");
+        let demands = vec![(NodeId(0), NodeId(5), 1.0)];
+        let hops = vec![NodeId(0), NodeId(2), NodeId(5)];
+        let inst = InstanceBuilder::with_demands(&topo, demands)
+            .add_ls(LogicalSequence::always(hops))
+            .build();
+        // Pairs: (0,5) + segments (0,2), (2,5).
+        assert_eq!(inst.num_pairs(), 3);
+        let q = LsId(0);
+        let p05 = inst.pair_id(NodeId(0), NodeId(5)).unwrap();
+        let p02 = inst.pair_id(NodeId(0), NodeId(2)).unwrap();
+        let p25 = inst.pair_id(NodeId(2), NodeId(5)).unwrap();
+        assert_eq!(inst.lss_of(p05), &[q]);
+        assert_eq!(inst.segments_of(p02), &[q]);
+        assert_eq!(inst.segments_of(p25), &[q]);
+        assert!(inst.segments_of(p05).is_empty());
+        assert_eq!(inst.demand(p02), 0.0);
+        // Segment pairs still get tunnels to support reservations.
+        assert!(!inst.tunnels_of(p02).is_empty());
+    }
+
+    #[test]
+    fn p_st_counts_max_overlap() {
+        let topo = zoo::build("Sprint");
+        let tm = gravity(&topo, 1);
+        let inst = InstanceBuilder::new(&topo, &tm).tunnels_per_pair(2).build();
+        for p in inst.pair_ids() {
+            // Paper: every pair has two disjoint tunnels in these topologies.
+            assert_eq!(inst.p_st(p), 1, "pair {:?}", inst.pair(p));
+        }
+    }
+
+    #[test]
+    fn explicit_tunnels_override_selection() {
+        let topo = zoo::build("Sprint");
+        let demands = vec![(NodeId(0), NodeId(5), 1.0)];
+        let path = pcf_paths::shortest_path(&topo, NodeId(0), NodeId(5)).unwrap();
+        let inst = InstanceBuilder::with_demands(&topo, demands)
+            .add_tunnel(path.clone())
+            .build();
+        let p = inst.pair_id(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(inst.tunnels_of(p).len(), 1);
+        assert_eq!(inst.tunnel(inst.tunnels_of(p)[0]), &path);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one intermediate hop")]
+    fn two_hop_ls_rejected() {
+        let topo = zoo::build("Sprint");
+        let demands = vec![(NodeId(0), NodeId(5), 1.0)];
+        let _ = InstanceBuilder::with_demands(&topo, demands)
+            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(5)]));
+    }
+
+    #[test]
+    fn duplicate_demands_are_summed() {
+        let topo = zoo::build("Sprint");
+        let demands = vec![(NodeId(0), NodeId(5), 1.0), (NodeId(0), NodeId(5), 2.0)];
+        let inst = InstanceBuilder::with_demands(&topo, demands).build();
+        let p = inst.pair_id(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(inst.demand(p), 3.0);
+        assert_eq!(inst.total_demand(), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+    use pcf_topology::zoo;
+
+    #[test]
+    fn extra_pairs_are_interned_with_tunnels() {
+        let topo = zoo::build("Sprint");
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(5), 1.0)])
+            .add_pair(NodeId(2), NodeId(7))
+            .tunnels_per_pair(2)
+            .build();
+        let p = inst.pair_id(NodeId(2), NodeId(7)).expect("extra pair interned");
+        assert_eq!(inst.demand(p), 0.0);
+        assert_eq!(inst.tunnels_of(p).len(), 2);
+    }
+
+    #[test]
+    fn no_auto_tunnels_leaves_pairs_bare() {
+        let topo = zoo::build("Sprint");
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(5), 1.0)])
+            .no_auto_tunnels()
+            .build();
+        assert_eq!(inst.num_tunnels(), 0);
+        assert_eq!(inst.num_pairs(), 1);
+    }
+
+    #[test]
+    fn ordered_pairs_are_distinct() {
+        // (s,t) and (t,s) are different pairs with their own tunnels.
+        let topo = zoo::build("Sprint");
+        let inst = InstanceBuilder::with_demands(
+            &topo,
+            vec![(NodeId(0), NodeId(5), 1.0), (NodeId(5), NodeId(0), 2.0)],
+        )
+        .tunnels_per_pair(2)
+        .build();
+        assert_eq!(inst.num_pairs(), 2);
+        let p0 = inst.pair_id(NodeId(0), NodeId(5)).unwrap();
+        let p1 = inst.pair_id(NodeId(5), NodeId(0)).unwrap();
+        assert_ne!(p0, p1);
+        assert_eq!(inst.demand(p0), 1.0);
+        assert_eq!(inst.demand(p1), 2.0);
+        // Tunnels are directional: sources must match.
+        for &l in inst.tunnels_of(p1) {
+            assert_eq!(inst.tunnel(l).source(), NodeId(5));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! PCF: Provably Resilient Flexible Routing (SIGCOMM 2020) — core library.
+//!
+//! Implements congestion-free traffic engineering: bandwidth allocation and
+//! failure response that guarantee no link is overloaded under any targeted
+//! failure scenario, for FFC, PCF-TF, PCF-LS, PCF-CLS, logical flows, R3,
+//! and the optimal (intrinsic capability) baseline.
+
+pub mod adversary;
+pub mod augment;
+pub mod dualized;
+pub mod failure;
+pub mod figures;
+pub mod instance;
+pub mod logical_flow;
+pub mod objective;
+pub mod optimal;
+pub mod r3;
+pub mod realize;
+pub mod robust;
+pub mod scale;
+pub mod schemes;
+pub mod validate;
+
+pub use augment::{augment_capacity, Augmentation};
+pub use failure::{Condition, FailureModel};
+pub use instance::{Instance, InstanceBuilder, LogicalSequence, LsId, PairId, TunnelId};
+pub use logical_flow::{bypass_flows, decompose_flows, pcf_cls_pipeline, solve_logical_flow, ClsResult, FlowSolution, FlowSpec};
+pub use objective::Objective;
+pub use r3::{solve_generalized_r3, solve_r3, R3Solution};
+pub use scale::scale_to_mlu;
+pub use realize::{greedy_topsort, proportional_routing, realize_routing, reservation_matrix, topological_order, FailureState, Routing};
+pub use optimal::{max_concurrent_flow, max_throughput, optimal_demand_scale, optimal_throughput, McfResult, ScenarioCoverage};
+pub use robust::{solve_robust, AdversaryKind, RobustOptions, RobustSolution};
+pub use schemes::{pcf_ls_instance, solve_ffc, solve_pcf_cls, solve_pcf_ls, solve_pcf_tf, tunnel_instance};
+pub use validate::{validate_all, validate_scenarios, ValidationReport};

@@ -1,0 +1,73 @@
+//! Objective metrics `Θ(z)` (paper §3.1).
+//!
+//! The paper's formulations maximize a concave function of the served
+//! fractions `z_st`. Two concrete metrics cover the evaluation:
+//!
+//! * [`Objective::DemandScale`] — a single scale `z` applied to every
+//!   demand (`Θ = z`, the paper's headline metric; its inverse is the MLU);
+//! * [`Objective::Throughput`] — total admitted bandwidth
+//!   `Θ = Σ min(1, z_st) d_st` (per-pair `z_st`, capped at the demand).
+
+/// The optimization metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Uniform demand scale: maximize `z` with every pair served `z · d_st`.
+    /// Values above 1 mean the network sustains more than the offered load;
+    /// `1/z` is the maximum link utilization.
+    DemandScale,
+    /// Total throughput: maximize `Σ z_st d_st` with `z_st ∈ [0, 1]`.
+    Throughput,
+}
+
+impl Objective {
+    /// Human-readable name used by the experiment harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::DemandScale => "demand-scale",
+            Objective::Throughput => "throughput",
+        }
+    }
+}
+
+/// Throughput overhead `1 - Σ bw / Σ d` (paper §5 "Throughput metric").
+///
+/// `throughput` is the admitted bandwidth `Σ bw_st`; `total_demand` is
+/// `Σ d_st`.
+pub fn throughput_overhead(throughput: f64, total_demand: f64) -> f64 {
+    assert!(total_demand > 0.0);
+    1.0 - throughput / total_demand
+}
+
+/// Percentage reduction in throughput overhead relative to a baseline
+/// (paper Fig. 13): `100 * (1 - overhead / base_overhead)`.
+pub fn overhead_reduction_pct(overhead: f64, base_overhead: f64) -> f64 {
+    if base_overhead <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (1.0 - overhead / base_overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_basics() {
+        assert!((throughput_overhead(8.0, 10.0) - 0.2).abs() < 1e-12);
+        assert_eq!(throughput_overhead(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn reduction_pct() {
+        // overhead 0.1 vs baseline 0.2 -> 50% reduction
+        assert!((overhead_reduction_pct(0.1, 0.2) - 50.0).abs() < 1e-12);
+        // no baseline overhead -> 0 by convention
+        assert_eq!(overhead_reduction_pct(0.1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Objective::DemandScale.name(), "demand-scale");
+        assert_eq!(Objective::Throughput.name(), "throughput");
+    }
+}

@@ -1,0 +1,556 @@
+//! The robust bandwidth-allocation engine: master LP plus cutting planes.
+//!
+//! The paper solves its models (P1, P2 and variants) by dualizing the inner
+//! worst case so the LP stays polynomial. This crate implements the same
+//! robust optimum with an equivalent *constraint generation* scheme that
+//! scales better in a from-scratch simplex:
+//!
+//! 1. solve a master LP containing the capacity constraints and the
+//!    scenario cuts generated so far;
+//! 2. for every pair, ask the adversary ([`crate::adversary`]) for the
+//!    worst scenario under the current reservations;
+//! 3. add a cut for every violated pair; repeat until none is violated.
+//!
+//! Both approaches optimize over the same relaxed failure polytope, so the
+//! cutting-plane optimum equals the dualized optimum (cross-checked in
+//! tests against [`crate::dualized`]).
+
+use crate::adversary::{worst_case_ffc, worst_case_link, WorstCase};
+use crate::failure::{Condition, FailureModel};
+use crate::instance::{Instance, PairId};
+use crate::objective::Objective;
+use pcf_lp::{LpProblem, Sense, SimplexOptions, Status, VarId};
+
+/// Which failure-set model the scheme plans against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// FFC's tunnel-count model (Eq. 5, driven by `p_st`).
+    FfcTunnelCount,
+    /// PCF's link-coupled model (Eq. 4), required for any instance with
+    /// logical sequences.
+    LinkBased,
+}
+
+/// Options for [`solve_robust`].
+#[derive(Debug, Clone)]
+pub struct RobustOptions {
+    /// Metric to maximize.
+    pub objective: Objective,
+    /// Cutting-plane round limit.
+    pub max_rounds: usize,
+    /// Relative violation tolerance for accepting a solution.
+    pub tol: f64,
+    /// Simplex settings for the master problem.
+    pub lp: SimplexOptions,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions {
+            objective: Objective::DemandScale,
+            max_rounds: 200,
+            tol: 1e-6,
+            lp: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Result of a robust solve.
+#[derive(Debug, Clone)]
+pub struct RobustSolution {
+    /// Optimal metric value (demand scale, or total throughput).
+    pub objective: f64,
+    /// Served fraction per pair (demand scale: the same value for all).
+    pub z: Vec<f64>,
+    /// Reservation per tunnel (`a_l`).
+    pub a: Vec<f64>,
+    /// Reservation per logical sequence (`b_q`).
+    pub b: Vec<f64>,
+    /// Cutting-plane rounds used.
+    pub rounds: usize,
+    /// Total scenario cuts generated.
+    pub cuts: usize,
+}
+
+/// One generated scenario cut for a pair: the fractional failure levels to
+/// materialize the constraint
+/// `Σ_l a_l (1-y_l) + Σ_{q∈L} b_q h_q - Σ_{q'∈Q} b_{q'} h_{q'} >= z_p d_p`.
+struct Cut {
+    pair: PairId,
+    wc: WorstCase,
+}
+
+/// Evaluates the activation level of every condition in the no-failure
+/// state (`x = 0`): Always → 1, LinkDead → 0, AliveDead → 1 iff its dead
+/// set is empty.
+fn no_failure_h(cond: &Condition) -> f64 {
+    match cond {
+        Condition::Always => 1.0,
+        Condition::LinkDead(_) => 0.0,
+        Condition::AliveDead { dead, .. } => {
+            if dead.is_empty() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Solves the robust bandwidth allocation for `inst` against `fm` with the
+/// given adversary model.
+///
+/// # Panics
+/// Panics if `kind` is [`AdversaryKind::FfcTunnelCount`] and the instance
+/// has logical sequences, or if the master LP fails structurally.
+pub fn solve_robust(
+    inst: &Instance,
+    fm: &FailureModel,
+    kind: AdversaryKind,
+    opts: &RobustOptions,
+) -> RobustSolution {
+    if kind == AdversaryKind::FfcTunnelCount {
+        assert_eq!(
+            inst.num_lss(),
+            0,
+            "FFC's failure set is defined for pure tunnel instances"
+        );
+    }
+
+    // Initial cuts: the no-failure scenario for every pair, which bounds the
+    // objective and seeds the master.
+    let mut cuts: Vec<Cut> = inst
+        .pair_ids()
+        .map(|p| {
+            let wc = WorstCase {
+                available: 0.0, // unused in the master
+                y: vec![0.0; inst.tunnels_of(p).len()],
+                h_l: inst
+                    .lss_of(p)
+                    .iter()
+                    .map(|&q| no_failure_h(&inst.ls(q).condition))
+                    .collect(),
+                h_q: inst
+                    .segments_of(p)
+                    .iter()
+                    .map(|&q| no_failure_h(&inst.ls(q).condition))
+                    .collect(),
+            };
+            Cut { pair: p, wc }
+        })
+        .collect();
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let (a, b, z, objective) = solve_master(inst, &cuts, opts);
+
+        if rounds > opts.max_rounds {
+            return RobustSolution {
+                objective,
+                z,
+                a,
+                b,
+                rounds: rounds - 1,
+                cuts: cuts.len(),
+            };
+        }
+
+        // Separation.
+        let scale = 1.0 + inst.total_demand();
+        let mut violated = 0usize;
+        for p in inst.pair_ids() {
+            let wc = match kind {
+                AdversaryKind::FfcTunnelCount => worst_case_ffc(inst, p, fm, &a),
+                AdversaryKind::LinkBased => worst_case_link(inst, p, fm, &a, &b),
+            };
+            let required = z[p.0] * inst.demand(p);
+            if wc.available < required - opts.tol * scale {
+                cuts.push(Cut { pair: p, wc });
+                violated += 1;
+            }
+        }
+        if violated == 0 {
+            return RobustSolution {
+                objective,
+                z,
+                a,
+                b,
+                rounds,
+                cuts: cuts.len(),
+            };
+        }
+    }
+}
+
+/// Builds and solves the master LP for the current cut set. Returns
+/// `(a, b, z_per_pair, objective)`.
+fn solve_master(
+    inst: &Instance,
+    cuts: &[Cut],
+    opts: &RobustOptions,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+    let topo = inst.topo();
+    let mut lp = LpProblem::new(Sense::Maximize);
+    lp.set_options(opts.lp.clone());
+
+    let a_vars: Vec<VarId> = inst.tunnel_ids().map(|_| lp.add_nonneg(0.0)).collect();
+    let b_vars: Vec<VarId> = inst.ls_ids().map(|_| lp.add_nonneg(0.0)).collect();
+
+    // Objective variables.
+    enum ZVars {
+        Shared(VarId),
+        PerPair(Vec<Option<VarId>>),
+    }
+    let z_vars = match opts.objective {
+        Objective::DemandScale => ZVars::Shared(lp.add_nonneg(1.0)),
+        Objective::Throughput => ZVars::PerPair(
+            inst.pair_ids()
+                .map(|p| {
+                    let d = inst.demand(p);
+                    (d > 0.0).then(|| lp.add_var(0.0, 1.0, d))
+                })
+                .collect(),
+        ),
+    };
+    let z_var_of = |p: PairId| -> Option<VarId> {
+        match &z_vars {
+            ZVars::Shared(v) => Some(*v),
+            ZVars::PerPair(vs) => vs[p.0],
+        }
+    };
+
+    // Capacity constraints per directed arc (Eq. 3, full duplex).
+    let mut arc_usage: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); topo.arc_count()];
+    for l in inst.tunnel_ids() {
+        let path = inst.tunnel(l);
+        for (i, &link) in path.links.iter().enumerate() {
+            let arc = topo.arc_from(link, path.nodes[i]);
+            arc_usage[arc.index()].push((a_vars[l.0], 1.0));
+        }
+    }
+    for arc in topo.arcs() {
+        let usage = &arc_usage[arc.index()];
+        if !usage.is_empty() {
+            lp.add_le(usage.iter().copied(), topo.capacity(arc.link()));
+        }
+    }
+
+    // Scenario cuts.
+    for cut in cuts {
+        let p = cut.pair;
+        let mut row: Vec<(VarId, f64)> = Vec::new();
+        for (i, &l) in inst.tunnels_of(p).iter().enumerate() {
+            let coef = 1.0 - cut.wc.y[i];
+            if coef != 0.0 {
+                row.push((a_vars[l.0], coef));
+            }
+        }
+        for (i, &q) in inst.lss_of(p).iter().enumerate() {
+            if cut.wc.h_l[i] != 0.0 {
+                row.push((b_vars[q.0], cut.wc.h_l[i]));
+            }
+        }
+        for (i, &q) in inst.segments_of(p).iter().enumerate() {
+            if cut.wc.h_q[i] != 0.0 {
+                row.push((b_vars[q.0], -cut.wc.h_q[i]));
+            }
+        }
+        let d = inst.demand(p);
+        if d > 0.0 {
+            if let Some(zv) = z_var_of(p) {
+                row.push((zv, -d));
+            }
+        }
+        lp.add_ge(row, 0.0);
+    }
+
+    let sol = lp.solve().expect("master LP is structurally valid");
+    assert!(
+        sol.status == Status::Optimal,
+        "master LP did not reach optimality: {}",
+        sol.status
+    );
+
+    let a: Vec<f64> = a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
+    let b: Vec<f64> = b_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
+    let z: Vec<f64> = inst
+        .pair_ids()
+        .map(|p| match &z_vars {
+            ZVars::Shared(v) => sol.value(*v),
+            ZVars::PerPair(vs) => vs[p.0].map_or(0.0, |v| sol.value(v)),
+        })
+        .collect();
+    (a, b, z, sol.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use pcf_topology::{NodeId, Topology};
+
+    /// Two disjoint 2-hop paths s-a-t and s-b-t, all capacity 1.
+    fn diamond() -> Topology {
+        let mut t = Topology::new("diamond");
+        let s = t.add_node("s");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let d = t.add_node("t");
+        t.add_link(s, a, 1.0);
+        t.add_link(a, d, 1.0);
+        t.add_link(s, b, 1.0);
+        t.add_link(b, d, 1.0);
+        t
+    }
+
+    #[test]
+    fn no_failure_equals_capacity_bound() {
+        // f = 0: both schemes should grant the full 2 units across the two
+        // disjoint paths for a demand of 1 → demand scale 2.
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(0);
+        let opts = RobustOptions::default();
+        for kind in [AdversaryKind::FfcTunnelCount, AdversaryKind::LinkBased] {
+            let sol = solve_robust(&inst, &fm, kind, &opts);
+            assert!(
+                (sol.objective - 2.0).abs() < 1e-5,
+                "{kind:?} got {}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn single_failure_halves_diamond() {
+        // f = 1 with two disjoint 1-capacity paths: worst case loses one
+        // path → guarantee 1.0. Both FFC (p_st = 1) and PCF agree here.
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(1);
+        let opts = RobustOptions::default();
+        for kind in [AdversaryKind::FfcTunnelCount, AdversaryKind::LinkBased] {
+            let sol = solve_robust(&inst, &fm, kind, &opts);
+            assert!(
+                (sol.objective - 1.0).abs() < 1e-5,
+                "{kind:?} got {}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn two_failures_zero_diamond() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(2);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert!(sol.objective.abs() < 1e-6, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn throughput_objective_caps_at_demand() {
+        let topo = diamond();
+        // Demand 10 on a network of capacity 2, f = 0: throughput = 2.
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 10.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let mut opts = RobustOptions::default();
+        opts.objective = Objective::Throughput;
+        let sol = solve_robust(&inst, &FailureModel::links(0), AdversaryKind::LinkBased, &opts);
+        assert!((sol.objective - 2.0).abs() < 1e-5, "got {}", sol.objective);
+        // Tiny demand: capped at z = 1 → throughput = demand.
+        let inst2 = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 0.5)])
+            .tunnels_per_pair(2)
+            .build();
+        let sol2 = solve_robust(&inst2, &FailureModel::links(0), AdversaryKind::LinkBased, &opts);
+        assert!((sol2.objective - 0.5).abs() < 1e-6, "got {}", sol2.objective);
+    }
+
+    #[test]
+    fn reservations_respect_arc_capacities() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(
+            &topo,
+            vec![(NodeId(0), NodeId(3), 1.0), (NodeId(3), NodeId(0), 1.0)],
+        )
+        .tunnels_per_pair(2)
+        .build();
+        let sol = solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        // Full duplex: both directions independently get demand scale 1.
+        assert!((sol.objective - 1.0).abs() < 1e-5, "got {}", sol.objective);
+        // Check per-arc loads.
+        let topo = inst.topo();
+        let mut arc_load = vec![0.0; topo.arc_count()];
+        for l in inst.tunnel_ids() {
+            let path = inst.tunnel(l);
+            for (i, &link) in path.links.iter().enumerate() {
+                let arc = topo.arc_from(link, path.nodes[i]);
+                arc_load[arc.index()] += sol.a[l.0];
+            }
+        }
+        for arc in topo.arcs() {
+            assert!(
+                arc_load[arc.index()] <= topo.capacity(arc.link()) + 1e-6,
+                "arc {arc:?} overloaded"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, LogicalSequence};
+    use pcf_topology::{LinkId, NodeId, Topology};
+
+    /// Two disjoint 2-hop paths s-a-t and s-b-t, all capacity 1.
+    fn diamond() -> Topology {
+        let mut t = Topology::new("diamond");
+        let s = t.add_node("s");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let d = t.add_node("t");
+        t.add_link(s, a, 1.0);
+        t.add_link(a, d, 1.0);
+        t.add_link(s, b, 1.0);
+        t.add_link(b, d, 1.0);
+        t
+    }
+
+    #[test]
+    fn srlg_group_budget_is_respected_end_to_end() {
+        // One SRLG couples the two top links (s-a, s-b): a single group
+        // failure cuts the source off entirely -> guarantee 0. Without the
+        // SRLG (separate groups) the guarantee is 1.
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let coupled = FailureModel::Groups {
+            groups: vec![vec![LinkId(0), LinkId(2)], vec![LinkId(1)], vec![LinkId(3)]],
+            f: 1,
+        };
+        let sol = solve_robust(&inst, &coupled, AdversaryKind::LinkBased, &RobustOptions::default());
+        assert!(sol.objective.abs() < 1e-6, "got {}", sol.objective);
+        let separate = FailureModel::Groups {
+            groups: topo.links().map(|l| vec![l]).collect(),
+            f: 1,
+        };
+        let sol2 =
+            solve_robust(&inst, &separate, AdversaryKind::LinkBased, &RobustOptions::default());
+        assert!((sol2.objective - 1.0).abs() < 1e-5, "got {}", sol2.objective);
+    }
+
+    #[test]
+    fn explicit_scenarios_solve_exactly() {
+        // Protect only against the failure of the left path's first link:
+        // the right path plus the surviving left reservation can be used.
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::Explicit {
+            scenarios: vec![vec![LinkId(0)]],
+        };
+        let sol = solve_robust(&inst, &fm, AdversaryKind::LinkBased, &RobustOptions::default());
+        // Worst case: lose the left tunnel entirely -> right tunnel's
+        // reservation (capacity 1) is the guarantee.
+        assert!((sol.objective - 1.0).abs() < 1e-5, "got {}", sol.objective);
+        // Designing against both single-link lefts AND rights is the same
+        // as f=1 here.
+        let fm2 = FailureModel::Explicit {
+            scenarios: topo.links().map(|l| vec![l]).collect(),
+        };
+        let sol2 = solve_robust(&inst, &fm2, AdversaryKind::LinkBased, &RobustOptions::default());
+        let f1 = solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert!((sol2.objective - f1.objective).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relaxed_design_is_never_above_exact() {
+        // The x ∈ [0,1] relaxation is conservative: its guarantee cannot
+        // exceed the exact enumeration's.
+        let topo = pcf_topology::zoo::build("Sprint");
+        let tm = pcf_traffic::gravity(&topo, 2);
+        let inst = crate::schemes::tunnel_instance(&topo, &tm, 3);
+        let relaxed = solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let scenarios = topo.links().map(|l| vec![l]).collect();
+        let exact = solve_robust(
+            &inst,
+            &FailureModel::Explicit { scenarios },
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert!(relaxed.objective <= exact.objective + 1e-6 * (1.0 + exact.objective));
+    }
+
+    #[test]
+    fn throughput_objective_with_lss() {
+        let topo = diamond();
+        // Demand too large to fully serve; LS (s,a,t) adds nothing here but
+        // must not break the throughput accounting.
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 5.0)])
+            .tunnels_per_pair(2)
+            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(1), NodeId(3)]))
+            .build();
+        let opts = RobustOptions {
+            objective: crate::objective::Objective::Throughput,
+            ..RobustOptions::default()
+        };
+        let sol = solve_robust(&inst, &FailureModel::links(1), AdversaryKind::LinkBased, &opts);
+        // Worst single failure leaves one unit path + whatever the LS is
+        // backed by; total throughput is at least 1, at most the demand.
+        assert!(sol.objective >= 1.0 - 1e-6);
+        assert!(sol.objective <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn round_limit_returns_current_incumbent() {
+        let topo = pcf_topology::zoo::build("Sprint");
+        let tm = pcf_traffic::gravity(&topo, 2);
+        let inst = crate::schemes::tunnel_instance(&topo, &tm, 3);
+        let opts = RobustOptions {
+            max_rounds: 1,
+            ..RobustOptions::default()
+        };
+        let sol = solve_robust(&inst, &FailureModel::links(1), AdversaryKind::LinkBased, &opts);
+        // One round cannot certify the worst case; the incumbent is an
+        // upper bound of the converged value.
+        let full = solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert!(sol.objective >= full.objective - 1e-9);
+        assert_eq!(sol.rounds, 1);
+    }
+}

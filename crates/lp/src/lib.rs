@@ -1,0 +1,20 @@
+//! A self-contained linear programming toolkit for the PCF reproduction.
+//!
+//! The PCF paper solves all of its traffic engineering models with Gurobi;
+//! no such solver is available here, so this crate provides the substrate:
+//!
+//! * [`model`] — an [`LpProblem`] builder with range rows and variable
+//!   bounds, the interface all PCF/FFC/R3/optimal models are built against;
+//! * [`simplex`] — a bounded-variable revised primal simplex method;
+//! * [`linsys`] — dense Gaussian elimination and Gauss–Seidel iteration for
+//!   the M-matrix linear systems of PCF's online response (Props. 5–6).
+
+pub mod linsys;
+pub mod model;
+pub mod simplex;
+pub mod write;
+
+pub use linsys::{solve_dense, solve_gauss_seidel, DenseMatrix, LinSysError};
+pub use model::{LpProblem, RowId, Sense, Solution, SolveError, Status, VarId};
+pub use simplex::SimplexOptions;
+pub use write::to_lp_format;

@@ -1,0 +1,285 @@
+//! Dense and iterative linear-system solvers.
+//!
+//! PCF's online failure response (paper §4.1, Propositions 5–6) reduces to
+//! solving `M x = d` where `M` is an invertible M-matrix (non-positive
+//! off-diagonals, weakly chained diagonally dominant). Two solvers are
+//! provided:
+//!
+//! * [`solve_dense`] — Gaussian elimination with partial pivoting; exact,
+//!   `O(n^3)`;
+//! * [`solve_gauss_seidel`] — the memory-light iterative method the paper
+//!   points at for distributed implementations ("simple and memory-efficient
+//!   iterative algorithms for solving linear systems can be used \[4\]");
+//!   converges for the M-matrices produced by PCF's reservation matrices.
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone)]
+pub struct DenseMatrix {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix { n, a: vec![0.0; n * n] }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.n + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.n + j] += v;
+    }
+
+    /// `self * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.a[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+/// Error from the linear-system solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinSysError {
+    /// The matrix is (numerically) singular.
+    Singular,
+    /// The iterative method did not converge within the iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for LinSysError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinSysError::Singular => write!(f, "singular matrix"),
+            LinSysError::NoConvergence => write!(f, "iterative solver did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for LinSysError {}
+
+/// Solves `M x = b` for several right-hand sides at once by Gaussian
+/// elimination with partial pivoting. Each entry of `rhs` is one column
+/// vector; the result has the same shape.
+pub fn solve_dense(m: &DenseMatrix, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinSysError> {
+    let n = m.n;
+    let k = rhs.len();
+    for b in rhs {
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+    }
+    let mut a = m.a.clone();
+    let mut bs: Vec<Vec<f64>> = rhs.to_vec();
+    // Forward elimination.
+    for col in 0..n {
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for r in (col + 1)..n {
+            let v = a[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-13 {
+            return Err(LinSysError::Singular);
+        }
+        if piv != col {
+            for j in 0..n {
+                a.swap(col * n + j, piv * n + j);
+            }
+            for b in bs.iter_mut() {
+                b.swap(col, piv);
+            }
+        }
+        let d = a[col * n + col];
+        for r in (col + 1)..n {
+            let f = a[r * n + col] / d;
+            if f != 0.0 {
+                for j in col..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+                for b in bs.iter_mut() {
+                    b[r] -= f * b[col];
+                }
+            }
+        }
+    }
+    // Back substitution.
+    let mut xs = vec![vec![0.0; n]; k];
+    for (x, b) in xs.iter_mut().zip(bs.iter()) {
+        for i in (0..n).rev() {
+            let mut acc = b[i];
+            for j in (i + 1)..n {
+                acc -= a[i * n + j] * x[j];
+            }
+            x[i] = acc / a[i * n + i];
+        }
+    }
+    Ok(xs)
+}
+
+/// Solves `M x = b` by Gauss–Seidel iteration.
+///
+/// Converges whenever `M` is an invertible M-matrix (in particular for PCF
+/// reservation matrices, Proposition 5). Residual tolerance is relative to
+/// `max(1, ||b||_inf)`.
+pub fn solve_gauss_seidel(
+    m: &DenseMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> Result<Vec<f64>, LinSysError> {
+    let n = m.n;
+    assert_eq!(b.len(), n);
+    let scale = b.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        if m.get(i, i).abs() < 1e-13 {
+            return Err(LinSysError::Singular);
+        }
+    }
+    for _ in 0..max_iters {
+        let mut delta: f64 = 0.0;
+        for i in 0..n {
+            let mut acc = b[i];
+            let row = &m.a[i * n..(i + 1) * n];
+            for (j, &aij) in row.iter().enumerate() {
+                if j != i {
+                    acc -= aij * x[j];
+                }
+            }
+            let xi = acc / row[i];
+            delta = delta.max((xi - x[i]).abs());
+            x[i] = xi;
+        }
+        // Convergence check on the true residual.
+        if delta <= tol * scale {
+            let r = m.mul_vec(&x);
+            let res = r
+                .iter()
+                .zip(b)
+                .fold(0.0f64, |acc, (ri, bi)| acc.max((ri - bi).abs()));
+            if res <= tol * scale {
+                return Ok(x);
+            }
+        }
+    }
+    Err(LinSysError::NoConvergence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_m_matrix() -> DenseMatrix {
+        // Diagonally dominant M-matrix.
+        let mut m = DenseMatrix::zeros(3);
+        m.set(0, 0, 4.0);
+        m.set(0, 1, -1.0);
+        m.set(0, 2, -1.0);
+        m.set(1, 0, -2.0);
+        m.set(1, 1, 5.0);
+        m.set(1, 2, -1.0);
+        m.set(2, 0, -1.0);
+        m.set(2, 1, -1.0);
+        m.set(2, 2, 3.0);
+        m
+    }
+
+    #[test]
+    fn dense_solves_identity() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1.0);
+        let x = solve_dense(&m, &[vec![3.0, 4.0]]).unwrap();
+        assert_eq!(x[0], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_solves_general_system() {
+        let m = example_m_matrix();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = solve_dense(&m, &[b.clone()]).unwrap();
+        let r = m.mul_vec(&x[0]);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dense_multiple_rhs() {
+        let m = example_m_matrix();
+        let xs = solve_dense(&m, &[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]).unwrap();
+        for (k, x) in xs.iter().enumerate() {
+            let r = m.mul_vec(x);
+            for (i, ri) in r.iter().enumerate() {
+                let want = if i == k { 1.0 } else { 0.0 };
+                assert!((ri - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_detects_singular() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert_eq!(
+            solve_dense(&m, &[vec![1.0, 1.0]]).unwrap_err(),
+            LinSysError::Singular
+        );
+    }
+
+    #[test]
+    fn gauss_seidel_matches_dense_on_m_matrix() {
+        let m = example_m_matrix();
+        let b = vec![2.0, -1.0, 0.5];
+        let exact = solve_dense(&m, &[b.clone()]).unwrap();
+        let gs = solve_gauss_seidel(&m, &b, 1e-12, 10_000).unwrap();
+        for (a, e) in gs.iter().zip(&exact[0]) {
+            assert!((a - e).abs() < 1e-9, "gs {a} vs dense {e}");
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_requires_nonzero_diagonal() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        assert_eq!(
+            solve_gauss_seidel(&m, &[1.0, 1.0], 1e-9, 100).unwrap_err(),
+            LinSysError::Singular
+        );
+    }
+
+    #[test]
+    fn mul_vec_is_matrix_vector_product() {
+        let m = example_m_matrix();
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![2.0, 2.0, 1.0]);
+    }
+}

@@ -1,0 +1,889 @@
+//! Bounded-variable revised primal simplex.
+//!
+//! The solver standardizes a model from [`crate::model::LpProblem`] to
+//!
+//! ```text
+//! minimize c'x   subject to   A x - s = 0,   l <= (x, s) <= u
+//! ```
+//!
+//! with one slack `s_i` per row carrying the row's activity bounds, so the
+//! right-hand side is identically zero. Phase 1 adds one artificial column
+//! per row to construct an initial basis and minimizes the sum of
+//! artificials; phase 2 minimizes the true objective with artificials fixed
+//! at zero.
+//!
+//! Implementation notes:
+//! * the basis inverse is kept explicitly (dense, row-major) and updated by
+//!   the product form at each pivot, with a full reinversion every
+//!   [`SimplexOptions::reinvert_every`] pivots to bound numerical drift;
+//! * the entering rule is Dantzig pricing, falling back to Bland's rule
+//!   after a long run of degenerate pivots to guarantee termination;
+//! * geometric row/column equilibration is applied by default, which keeps
+//!   the WAN models (capacities 0.5–10, demands spanning decades) well
+//!   conditioned.
+
+use crate::model::{LpProblem, Sense, Solution, Status};
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Feasibility / bound tolerance.
+    pub tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Hard cap on total simplex iterations; `None` chooses
+    /// `20_000 + 100 * (rows + vars)`.
+    pub max_iterations: Option<usize>,
+    /// Recompute the basis inverse from scratch this often.
+    pub reinvert_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_after: usize,
+    /// Apply geometric row/column scaling before solving.
+    pub scale: bool,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            tol: 1e-7,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-8,
+            max_iterations: None,
+            reinvert_every: 400,
+            bland_after: 2000,
+            scale: true,
+        }
+    }
+}
+
+/// Where a column currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize), // row index in the basis
+    AtLower,
+    AtUpper,
+    /// Free variable currently resting at zero.
+    FreeZero,
+}
+
+/// The standardized problem plus solver workspace.
+struct Tableau {
+    m: usize,             // rows
+    ncols: usize,         // structural + slack + artificial columns
+    cols: Vec<Vec<(usize, f64)>>, // sparse columns of [A | -I | +-I]
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>,       // phase-2 cost
+    state: Vec<VarState>,
+    basis: Vec<usize>,    // column index basic in each row
+    binv: Vec<f64>,       // m x m row-major
+    xb: Vec<f64>,         // values of basic variables per row
+    opts: SimplexOptions,
+    iterations: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VarState::AtLower => self.lower[j],
+            VarState::AtUpper => self.upper[j],
+            VarState::FreeZero => 0.0,
+            VarState::Basic(r) => self.xb[r],
+        }
+    }
+
+    /// x_B = -B^{-1} * sum_j nonbasic A_j x_j  (rhs is zero).
+    fn recompute_basics(&mut self) {
+        let m = self.m;
+        let mut rhs = vec![0.0; m];
+        for j in 0..self.ncols {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    rhs[i] -= a * v;
+                }
+            }
+        }
+        // xb = binv * rhs
+        for r in 0..m {
+            let row = &self.binv[r * m..(r + 1) * m];
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += row[i] * rhs[i];
+            }
+            self.xb[r] = acc;
+        }
+    }
+
+    /// Rebuilds `binv` from the current basis by Gauss-Jordan elimination.
+    /// Returns false if the basis matrix is numerically singular.
+    fn reinvert(&mut self) -> bool {
+        let m = self.m;
+        // Dense B (row-major) from basis columns.
+        let mut b = vec![0.0; m * m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            for &(i, a) in &self.cols[j] {
+                b[i * m + r] = a;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        // Gauss-Jordan with partial pivoting.
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = b[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = b[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return false;
+            }
+            if piv != col {
+                for k in 0..m {
+                    b.swap(col * m + k, piv * m + k);
+                    inv.swap(col * m + k, piv * m + k);
+                }
+            }
+            let d = b[col * m + col];
+            let dinv = 1.0 / d;
+            for k in 0..m {
+                b[col * m + k] *= dinv;
+                inv[col * m + k] *= dinv;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = b[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        b[r * m + k] -= f * b[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        true
+    }
+
+    /// y' = c_B' B^{-1} for the given basic costs.
+    fn btran(&self, cb: &[f64], y: &mut [f64]) {
+        let m = self.m;
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
+        for (r, &c) in cb.iter().enumerate() {
+            if c != 0.0 {
+                let row = &self.binv[r * m..(r + 1) * m];
+                for i in 0..m {
+                    y[i] += c * row[i];
+                }
+            }
+        }
+    }
+
+    /// d = B^{-1} A_j.
+    fn ftran(&self, j: usize, d: &mut [f64]) {
+        let m = self.m;
+        for v in d.iter_mut() {
+            *v = 0.0;
+        }
+        for &(i, a) in &self.cols[j] {
+            if a != 0.0 {
+                for r in 0..m {
+                    d[r] += self.binv[r * m + i] * a;
+                }
+            }
+        }
+    }
+
+    /// Product-form update of B^{-1} after column `enter` replaces the basic
+    /// variable in row `r`, with pivot column `d = B^{-1} A_enter`.
+    fn update_binv(&mut self, r: usize, d: &[f64]) {
+        let m = self.m;
+        let piv = d[r];
+        let pinv = 1.0 / piv;
+        // Scale pivot row.
+        for k in 0..m {
+            self.binv[r * m + k] *= pinv;
+        }
+        for row in 0..m {
+            if row == r {
+                continue;
+            }
+            let f = d[row];
+            if f != 0.0 {
+                // binv[row, :] -= f * binv[r, :]
+                let (head, tail) = self.binv.split_at_mut(r.max(row) * m);
+                let (dst, src) = if row < r {
+                    (&mut head[row * m..row * m + m], &tail[..m])
+                } else {
+                    (&mut tail[..m], &head[r * m..r * m + m])
+                };
+                for k in 0..m {
+                    dst[k] -= f * src[k];
+                }
+            }
+        }
+    }
+
+    /// One simplex phase: minimize `cost` (already loaded per column) from
+    /// the current basis. Returns the terminal status of the phase.
+    fn optimize(&mut self, cost: &[f64], max_iter: usize) -> Status {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        let mut d = vec![0.0; m];
+        let mut cb: Vec<f64> = vec![0.0; m];
+        let mut degenerate_run = 0usize;
+        let mut since_reinvert = 0usize;
+
+        loop {
+            if self.iterations >= max_iter {
+                return Status::IterationLimit;
+            }
+
+            for r in 0..m {
+                cb[r] = cost[self.basis[r]];
+            }
+            self.btran(&cb, &mut y);
+
+            // Pricing: pick entering column.
+            let use_bland = degenerate_run >= self.opts.bland_after;
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, rc, dir)
+            'pricing: for j in 0..self.ncols {
+                let st = self.state[j];
+                if matches!(st, VarState::Basic(_)) {
+                    continue;
+                }
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    continue; // fixed
+                }
+                let mut rc = cost[j];
+                for &(i, a) in &self.cols[j] {
+                    rc -= y[i] * a;
+                }
+                let (viol, dir) = match st {
+                    VarState::AtLower => (-rc, 1.0),
+                    VarState::AtUpper => (rc, -1.0),
+                    VarState::FreeZero => {
+                        if rc < 0.0 {
+                            (-rc, 1.0)
+                        } else {
+                            (rc, -1.0)
+                        }
+                    }
+                    VarState::Basic(_) => unreachable!(),
+                };
+                if viol > self.opts.opt_tol {
+                    if use_bland {
+                        enter = Some((j, rc, dir));
+                        break 'pricing;
+                    }
+                    match enter {
+                        Some((_, brc, _)) if viol <= brc.abs() => {}
+                        _ => enter = Some((j, if dir > 0.0 { -viol } else { viol }, dir)),
+                    }
+                }
+            }
+            let Some((jin, _rc, dir)) = enter else {
+                return Status::Optimal;
+            };
+
+            self.ftran(jin, &mut d);
+
+            // Ratio test: entering moves by t >= 0 in direction `dir`;
+            // basic values change by -dir * t * d.
+            let range = self.upper[jin] - self.lower[jin];
+            let mut t_max = range; // bound flip distance (may be inf)
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for r in 0..m {
+                let delta = -dir * d[r]; // d(x_B[r]) / dt
+                if delta.abs() <= self.opts.pivot_tol {
+                    continue;
+                }
+                let xv = self.xb[r];
+                let jb = self.basis[r];
+                let (lim, at_upper) = if delta > 0.0 {
+                    (self.upper[jb], true)
+                } else {
+                    (self.lower[jb], false)
+                };
+                if lim.is_infinite() {
+                    continue;
+                }
+                // Allow slight infeasibility to be absorbed (ratio 0 floor).
+                let mut t = (lim - xv) / delta;
+                if t < 0.0 {
+                    t = 0.0;
+                }
+                let better = match leave {
+                    None => t < t_max - 1e-12,
+                    Some((br, _)) => {
+                        t < t_max - 1e-12
+                            || (t <= t_max + 1e-12 && d[r].abs() > d[br].abs())
+                    }
+                };
+                if better {
+                    t_max = t;
+                    leave = Some((r, at_upper));
+                }
+            }
+
+            if t_max.is_infinite() {
+                return Status::Unbounded;
+            }
+
+            self.iterations += 1;
+            since_reinvert += 1;
+            if t_max <= 1e-10 {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: entering runs across its whole range.
+                    let t = t_max;
+                    for r in 0..m {
+                        self.xb[r] += -dir * t * d[r];
+                    }
+                    self.state[jin] = match self.state[jin] {
+                        VarState::AtLower => VarState::AtUpper,
+                        VarState::AtUpper => VarState::AtLower,
+                        s => s, // free variables cannot bound-flip (range inf)
+                    };
+                }
+                Some((r, at_upper)) => {
+                    let t = t_max;
+                    // New value of entering variable.
+                    let xin = match self.state[jin] {
+                        VarState::AtLower => self.lower[jin] + t,
+                        VarState::AtUpper => self.upper[jin] - t,
+                        VarState::FreeZero => dir * t,
+                        VarState::Basic(_) => unreachable!(),
+                    };
+                    for i in 0..m {
+                        self.xb[i] += -dir * t * d[i];
+                    }
+                    let jout = self.basis[r];
+                    self.state[jout] = if at_upper {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
+                    // Snap the leaving variable exactly onto its bound.
+                    self.basis[r] = jin;
+                    self.state[jin] = VarState::Basic(r);
+                    self.xb[r] = xin;
+                    self.update_binv(r, &d);
+
+                    if since_reinvert >= self.opts.reinvert_every {
+                        since_reinvert = 0;
+                        if !self.reinvert() {
+                            // Singular after drift: rebuild conservatively.
+                            return Status::IterationLimit;
+                        }
+                        self.recompute_basics();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sum of bound violations over basic variables.
+    fn primal_infeasibility(&self) -> f64 {
+        let mut s = 0.0;
+        for r in 0..self.m {
+            let j = self.basis[r];
+            let v = self.xb[r];
+            if v < self.lower[j] {
+                s += self.lower[j] - v;
+            } else if v > self.upper[j] {
+                s += v - self.upper[j];
+            }
+        }
+        s
+    }
+}
+
+/// Geometric equilibration factors for rows and structural columns.
+fn scaling(problem: &LpProblem) -> (Vec<f64>, Vec<f64>) {
+    let m = problem.rows.len();
+    let n = problem.num_vars();
+    let mut rscale = vec![1.0f64; m];
+    let mut cscale = vec![1.0f64; n];
+    for _pass in 0..2 {
+        for (i, row) in problem.rows.iter().enumerate() {
+            let mut mx: f64 = 0.0;
+            let mut mn = f64::INFINITY;
+            for &(j, a) in &row.coeffs {
+                let v = (a * rscale[i] * cscale[j]).abs();
+                if v > 0.0 {
+                    mx = mx.max(v);
+                    mn = mn.min(v);
+                }
+            }
+            if mx > 0.0 {
+                rscale[i] /= (mx * mn).sqrt();
+            }
+        }
+        let mut cmax = vec![0.0f64; n];
+        let mut cmin = vec![f64::INFINITY; n];
+        for (i, row) in problem.rows.iter().enumerate() {
+            for &(j, a) in &row.coeffs {
+                let v = (a * rscale[i] * cscale[j]).abs();
+                if v > 0.0 {
+                    cmax[j] = cmax[j].max(v);
+                    cmin[j] = cmin[j].min(v);
+                }
+            }
+        }
+        for j in 0..n {
+            if cmax[j] > 0.0 {
+                cscale[j] /= (cmax[j] * cmin[j]).sqrt();
+            }
+        }
+    }
+    (rscale, cscale)
+}
+
+/// Solves `problem`; see module docs for the algorithm.
+pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
+    let m = problem.rows.len();
+    let n = problem.num_vars();
+
+    let (rscale, cscale) = if opts.scale {
+        scaling(problem)
+    } else {
+        (vec![1.0; m], vec![1.0; n])
+    };
+
+    // Columns 0..n structural, n..n+m slacks, n+m..n+2m artificials.
+    let nslack = n + m;
+    let ncols = n + 2 * m;
+
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+    for (i, row) in problem.rows.iter().enumerate() {
+        for &(j, a) in &row.coeffs {
+            cols[j].push((i, a * rscale[i] * cscale[j]));
+        }
+        cols[nslack - m + i].push((i, -1.0));
+    }
+
+    let mut lower = vec![0.0; ncols];
+    let mut upper = vec![0.0; ncols];
+    let mut cost = vec![0.0; ncols];
+    let sign = match problem.sense {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    for j in 0..n {
+        // x = cscale * x'
+        lower[j] = problem.lower[j] / cscale[j];
+        upper[j] = problem.upper[j] / cscale[j];
+        cost[j] = sign * problem.obj[j] * cscale[j];
+    }
+    for i in 0..m {
+        lower[n + i] = problem.rows[i].lower * rscale[i];
+        upper[n + i] = problem.rows[i].upper * rscale[i];
+    }
+    // Artificial bounds are set per-row below.
+
+    // Initial nonbasic placement for structural vars and slacks.
+    let mut state = vec![VarState::AtLower; ncols];
+    for j in 0..nslack {
+        state[j] = if lower[j].is_finite() {
+            VarState::AtLower
+        } else if upper[j].is_finite() {
+            VarState::AtUpper
+        } else {
+            VarState::FreeZero
+        };
+    }
+    // Row residuals r_i = sum_j A_ij x_j - s_i with chosen nonbasic values.
+    let mut resid = vec![0.0; m];
+    for j in 0..nslack {
+        let v = match state[j] {
+            VarState::AtLower => lower[j],
+            VarState::AtUpper => upper[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            for &(i, a) in &cols[j] {
+                resid[i] += a * v;
+            }
+        }
+    }
+    // Artificial i has coefficient matching -resid so its value is |resid|.
+    let mut basis = Vec::with_capacity(m);
+    let mut phase1_cost = vec![0.0; ncols];
+    for i in 0..m {
+        let a = n + m + i;
+        let s = if resid[i] >= 0.0 { -1.0 } else { 1.0 };
+        cols[a].push((i, s));
+        lower[a] = 0.0;
+        upper[a] = f64::INFINITY;
+        phase1_cost[a] = 1.0;
+        state[a] = VarState::Basic(i);
+        basis.push(a);
+    }
+
+    let mut tab = Tableau {
+        m,
+        ncols,
+        cols,
+        lower,
+        upper,
+        cost,
+        state,
+        basis,
+        binv: Vec::new(),
+        xb: vec![0.0; m],
+        opts: opts.clone(),
+        iterations: 0,
+    };
+    // Basis of artificials: B = diag(sign), B^{-1} = diag(sign).
+    tab.binv = vec![0.0; m * m];
+    for i in 0..m {
+        let s = if resid[i] >= 0.0 { -1.0 } else { 1.0 };
+        tab.binv[i * m + i] = s;
+    }
+    for i in 0..m {
+        tab.xb[i] = resid[i].abs();
+    }
+
+    let max_iter = opts
+        .max_iterations
+        .unwrap_or(20_000 + 100 * (m + n));
+
+    // ---- Phase 1 ----
+    let p1cost = phase1_cost.clone();
+    let status1 = tab.optimize(&p1cost, max_iter);
+    let art_sum: f64 = (0..m)
+        .map(|i| {
+            let j = tab.basis[i];
+            if j >= n + m {
+                tab.xb[i].max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    if status1 == Status::IterationLimit {
+        return Solution {
+            status: Status::IterationLimit,
+            objective: f64::NAN,
+            x: vec![0.0; n],
+            iterations: tab.iterations,
+        };
+    }
+    if art_sum > opts.tol.max(1e-6) {
+        return Solution {
+            status: Status::Infeasible,
+            objective: f64::NAN,
+            x: vec![0.0; n],
+            iterations: tab.iterations,
+        };
+    }
+    // Fix artificials at zero for phase 2.
+    for i in 0..m {
+        let a = n + m + i;
+        tab.upper[a] = 0.0;
+        if !matches!(tab.state[a], VarState::Basic(_)) {
+            tab.state[a] = VarState::AtLower;
+        }
+    }
+
+    // ---- Phase 2 ----
+    let p2cost = tab.cost.clone();
+    let status2 = tab.optimize(&p2cost, max_iter);
+
+    // Extract the (unscaled) solution.
+    let mut xs = vec![0.0; ncols];
+    for j in 0..ncols {
+        xs[j] = tab.nonbasic_value(j);
+    }
+    for r in 0..m {
+        xs[tab.basis[r]] = tab.xb[r];
+    }
+    let mut x = vec![0.0; n];
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = xs[j] * cscale[j];
+        // Clamp tiny bound violations from round-off.
+        if *xj < problem.lower[j] {
+            *xj = problem.lower[j];
+        }
+        if *xj > problem.upper[j] {
+            *xj = problem.upper[j];
+        }
+    }
+    let objective: f64 = x
+        .iter()
+        .zip(problem.obj.iter())
+        .map(|(xi, ci)| xi * ci)
+        .sum();
+
+    let status = match status2 {
+        Status::Optimal => {
+            if tab.primal_infeasibility() > 1e-5 {
+                // Numerical trouble; report as iteration limit rather than
+                // returning a wrong "optimal".
+                Status::IterationLimit
+            } else {
+                Status::Optimal
+            }
+        }
+        s => s,
+    };
+
+    Solution {
+        status,
+        objective,
+        x,
+        iterations: tab.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{LpProblem, Sense, Status};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn simple_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6)
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(3.0);
+        let y = lp.add_nonneg(5.0);
+        lp.add_le(vec![(x, 1.0)], 4.0);
+        lp.add_le(vec![(y, 2.0)], 12.0);
+        lp.add_le(vec![(x, 3.0), (y, 2.0)], 18.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn simple_min_with_ge_rows() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3  -> x=7, y=3 -> 23
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(2.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(3.0, f64::INFINITY, 3.0);
+        lp.add_ge(vec![(x, 1.0), (y, 1.0)], 10.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 23.0);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // max x + y s.t. x + 2y == 4, x - y == 1 -> x=2, y=1 -> 3
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(1.0);
+        let y = lp.add_nonneg(1.0);
+        lp.add_eq(vec![(x, 1.0), (y, 2.0)], 4.0);
+        lp.add_eq(vec![(x, 1.0), (y, -1.0)], 1.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn upper_bounded_variables() {
+        // max x + y, x <= 1.5, y <= 2, x + y <= 3 -> 3
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 1.5, 1.0);
+        let y = lp.add_var(0.0, 2.0, 1.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 3.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // max x + 2y with x in [0,1], y in [0,1], no rows at all... rows
+        // needed; add a vacuous one.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        let y = lp.add_var(0.0, 1.0, 2.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 10.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_ge(vec![(x, 1.0)], 2.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(1.0);
+        let y = lp.add_nonneg(0.0);
+        lp.add_le(vec![(y, 1.0)], 5.0);
+        let _ = x;
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x s.t. x >= -5 via row (x free as a variable)
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_ge(vec![(x, 1.0)], -5.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, -5.0);
+    }
+
+    #[test]
+    fn negative_rhs_and_coefficients() {
+        // min -x - y s.t. -x - y >= -4, x,y in [0,3] -> obj -4
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(0.0, 3.0, -1.0);
+        let y = lp.add_var(0.0, 3.0, -1.0);
+        lp.add_ge(vec![(x, -1.0), (y, -1.0)], -4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -4.0);
+    }
+
+    #[test]
+    fn range_rows() {
+        // max x s.t. 1 <= x + y <= 2, y in [0, 0.5] -> x = 2
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(1.0);
+        let y = lp.add_var(0.0, 0.5, 0.0);
+        lp.add_row(vec![(x, 1.0), (y, 1.0)], 1.0, 2.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(1.0);
+        lp.add_le(vec![(x, 1.0), (x, 1.0)], 4.0); // 2x <= 4
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn degenerate_transportation_lp() {
+        // Degenerate assignment-like LP; exercises tie-broken ratio tests.
+        // min sum c_ij x_ij, rows: supplies = 1, demands = 1, 3x3, all c=1
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let mut v = Vec::new();
+        for _ in 0..9 {
+            v.push(lp.add_nonneg(1.0));
+        }
+        for i in 0..3 {
+            lp.add_eq((0..3).map(|j| (v[i * 3 + j], 1.0)), 1.0);
+        }
+        for j in 0..3 {
+            lp.add_eq((0..3).map(|i| (v[i * 3 + j], 1.0)), 1.0);
+        }
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn badly_scaled_problem() {
+        // Coefficients spanning 1e-4 .. 1e4.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(1e4);
+        let y = lp.add_nonneg(1e-3);
+        lp.add_le(vec![(x, 1e4), (y, 1e-4)], 1e4);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 2.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        // x=1 dominates: obj ~ 1e4 (y contributes negligibly via row 2).
+        assert!(s.objective >= 1e4 - 1e-3);
+    }
+
+    #[test]
+    fn maximize_vs_minimize_consistency() {
+        let build = |sense| {
+            let mut lp = LpProblem::new(sense);
+            let x = lp.add_var(0.0, 2.0, 1.0);
+            let y = lp.add_var(0.0, 2.0, -1.0);
+            lp.add_le(vec![(x, 1.0), (y, 1.0)], 3.0);
+            lp
+        };
+        let mx = build(Sense::Maximize).solve().unwrap();
+        let mn = build(Sense::Minimize).solve().unwrap();
+        assert_close(mx.objective, 2.0); // x=2, y=0
+        assert_close(mn.objective, -2.0); // x=0, y=2
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(1.5, 1.5, 1.0);
+        let y = lp.add_nonneg(1.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.value(x), 1.5);
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn empty_objective_feasibility_check() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        lp.add_ge(vec![(x, 1.0)], 0.5);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.value(x) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn max_flow_as_lp() {
+        // Classic 4-node max flow: s->a (3), s->b (2), a->b (1), a->t (2),
+        // b->t (3). Max flow = 5... check: s->a 3 (a->t 2, a->b 1), s->b 2,
+        // b->t 3 -> total 5.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let sa = lp.add_var(0.0, 3.0, 0.0);
+        let sb = lp.add_var(0.0, 2.0, 0.0);
+        let ab = lp.add_var(0.0, 1.0, 0.0);
+        let at = lp.add_var(0.0, 2.0, 0.0);
+        let bt = lp.add_var(0.0, 3.0, 0.0);
+        // objective: flow out of s
+        lp.set_objective(sa, 1.0);
+        lp.set_objective(sb, 1.0);
+        // conservation at a and b
+        lp.add_eq(vec![(sa, 1.0), (ab, -1.0), (at, -1.0)], 0.0);
+        lp.add_eq(vec![(sb, 1.0), (ab, 1.0), (bt, -1.0)], 0.0);
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 5.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Export of [`crate::LpProblem`] in the CPLEX LP text format.
+//!
+//! Useful for debugging models and for cross-checking this repository's
+//! simplex against an external solver: every model built here can be dumped
+//! and fed to CBC/HiGHS/Gurobi unchanged.
+
+use crate::model::{LpProblem, Sense};
+use std::fmt::Write as _;
+
+/// Renders the problem in CPLEX LP format.
+///
+/// Variables are named `x0, x1, ...` in declaration order; constraints
+/// `c0, c1, ...`. Range rows are split into a `>=` and a `<=` constraint,
+/// matching common solver expectations.
+pub fn to_lp_format(problem: &LpProblem) -> String {
+    let mut out = String::new();
+    match problem.sense {
+        Sense::Maximize => out.push_str("Maximize\n obj:"),
+        Sense::Minimize => out.push_str("Minimize\n obj:"),
+    }
+    let mut any = false;
+    for (j, &c) in problem.obj.iter().enumerate() {
+        if c != 0.0 {
+            let _ = write!(out, " {} {} x{}", sign(c, any), c.abs(), j);
+            any = true;
+        }
+    }
+    if !any {
+        out.push_str(" 0 x0");
+    }
+    out.push_str("\nSubject To\n");
+    let mut cid = 0usize;
+    for row in &problem.rows {
+        let expr = render_expr(&row.coeffs);
+        let (lo, hi) = (row.lower, row.upper);
+        if lo == hi {
+            let _ = writeln!(out, " c{cid}: {expr} = {lo}");
+            cid += 1;
+        } else {
+            if lo.is_finite() {
+                let _ = writeln!(out, " c{cid}: {expr} >= {lo}");
+                cid += 1;
+            }
+            if hi.is_finite() {
+                let _ = writeln!(out, " c{cid}: {expr} <= {hi}");
+                cid += 1;
+            }
+        }
+    }
+    out.push_str("Bounds\n");
+    for j in 0..problem.num_vars() {
+        let (lo, hi) = (problem.lower[j], problem.upper[j]);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {lo} <= x{j} <= {hi}");
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " x{j} >= {lo}");
+                }
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= x{j} <= {hi}");
+            }
+            (false, false) => {
+                let _ = writeln!(out, " x{j} free");
+            }
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+fn sign(c: f64, any: bool) -> &'static str {
+    if c < 0.0 {
+        "-"
+    } else if any {
+        "+"
+    } else {
+        ""
+    }
+}
+
+fn render_expr(coeffs: &[(usize, f64)]) -> String {
+    let mut s = String::new();
+    let mut any = false;
+    for &(j, c) in coeffs {
+        let _ = write!(s, "{} {} x{} ", sign(c, any), c.abs(), j);
+        any = true;
+    }
+    if !any {
+        s.push_str("0 x0 ");
+    }
+    s.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LpProblem;
+
+    #[test]
+    fn renders_a_small_model() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 4.0, 3.0);
+        let y = lp.add_nonneg(5.0);
+        lp.add_le(vec![(x, 1.0), (y, 2.0)], 14.0);
+        lp.add_eq(vec![(x, 1.0), (y, -1.0)], 0.0);
+        lp.add_row(vec![(y, 1.0)], 1.0, 6.0);
+        let s = to_lp_format(&lp);
+        assert!(s.starts_with("Maximize"));
+        assert!(s.contains("3 x0 + 5 x1"), "{s}");
+        assert!(s.contains("1 x0 + 2 x1 <= 14"), "{s}");
+        assert!(s.contains("1 x0 - 1 x1 = 0"), "{s}");
+        assert!(s.contains("1 x1 >= 1"), "{s}");
+        assert!(s.contains("1 x1 <= 6"), "{s}");
+        assert!(s.contains("0 <= x0 <= 4"), "{s}");
+        assert!(s.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn negative_and_free_bounds() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(f64::NEG_INFINITY, f64::INFINITY, -1.0);
+        let y = lp.add_var(f64::NEG_INFINITY, 3.0, 0.0);
+        lp.add_ge(vec![(x, 1.0), (y, 1.0)], -2.0);
+        let s = to_lp_format(&lp);
+        assert!(s.contains("Minimize"));
+        assert!(s.contains("- 1 x0"), "{s}");
+        assert!(s.contains("x0 free"), "{s}");
+        assert!(s.contains("-inf <= x1 <= 3"), "{s}");
+    }
+
+    #[test]
+    fn empty_objective_is_valid() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg(0.0);
+        lp.add_ge(vec![(x, 1.0)], 1.0);
+        let s = to_lp_format(&lp);
+        assert!(s.contains("obj: 0 x0"), "{s}");
+    }
+}

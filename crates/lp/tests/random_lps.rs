@@ -1,0 +1,189 @@
+//! Cross-validation of the simplex solver against brute-force vertex
+//! enumeration on randomly generated small LPs.
+//!
+//! For a bounded LP, an optimum lies at a vertex of the feasible polytope —
+//! a point where at least `n` linearly independent constraints (row bounds
+//! or variable bounds) are tight. On tiny instances we can enumerate all
+//! candidate tight sets, solve the resulting square systems, filter by
+//! feasibility, and take the best vertex. The simplex solver must agree.
+
+use pcf_lp::{solve_dense, DenseMatrix, LpProblem, Sense, Status};
+use proptest::prelude::*;
+
+/// A tight-able constraint: coefficients and the activity value it pins.
+struct TightCandidate {
+    coeffs: Vec<f64>, // dense over n vars
+    value: f64,
+}
+
+/// Brute-force optimum of a fully bounded LP by vertex enumeration.
+/// Returns `None` when no feasible vertex exists (infeasible problem).
+fn brute_force(
+    n: usize,
+    obj: &[f64],
+    var_bounds: &[(f64, f64)],
+    rows: &[(Vec<f64>, f64, f64)], // (dense coeffs, lower, upper)
+) -> Option<f64> {
+    let mut cands: Vec<TightCandidate> = Vec::new();
+    for (j, &(l, u)) in var_bounds.iter().enumerate() {
+        let mut c = vec![0.0; n];
+        c[j] = 1.0;
+        cands.push(TightCandidate {
+            coeffs: c.clone(),
+            value: l,
+        });
+        cands.push(TightCandidate { coeffs: c, value: u });
+    }
+    for (c, l, u) in rows {
+        cands.push(TightCandidate {
+            coeffs: c.clone(),
+            value: *l,
+        });
+        cands.push(TightCandidate {
+            coeffs: c.clone(),
+            value: *u,
+        });
+    }
+    let k = cands.len();
+    let mut best: Option<f64> = None;
+    // All n-subsets of candidates.
+    let mut idx: Vec<usize> = (0..n).collect();
+    loop {
+        // Try to solve the square system for this tight set.
+        let mut m = DenseMatrix::zeros(n);
+        let mut b = vec![0.0; n];
+        for (r, &ci) in idx.iter().enumerate() {
+            for j in 0..n {
+                m.set(r, j, cands[ci].coeffs[j]);
+            }
+            b[r] = cands[ci].value;
+        }
+        if let Ok(xs) = solve_dense(&m, &[b]) {
+            let x = &xs[0];
+            // Feasibility check.
+            let tol = 1e-7;
+            let mut ok = true;
+            for (j, &(l, u)) in var_bounds.iter().enumerate() {
+                if x[j] < l - tol || x[j] > u + tol {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for (c, l, u) in rows {
+                    let act: f64 = c.iter().zip(x).map(|(a, b)| a * b).sum();
+                    if act < l - tol || act > u + tol {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let v: f64 = obj.iter().zip(x).map(|(a, b)| a * b).sum();
+                best = Some(match best {
+                    None => v,
+                    Some(bv) => bv.max(v),
+                });
+            }
+        }
+        // Next combination.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return best;
+            }
+            i -= 1;
+            if idx[i] + (n - i) < k {
+                idx[i] += 1;
+                for j in (i + 1)..n {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn small_lp_strategy() -> impl Strategy<Value = (usize, Vec<f64>, Vec<(f64, f64)>, Vec<(Vec<f64>, f64, f64)>)>
+{
+    (2usize..=3).prop_flat_map(|n| {
+        let obj = prop::collection::vec(-5.0..5.0f64, n);
+        let bounds = prop::collection::vec((0.0..2.0f64, 2.5..6.0f64), n);
+        let row = (
+            prop::collection::vec(-3.0..3.0f64, n),
+            -10.0..0.0f64,
+            1.0..12.0f64,
+        );
+        let rows = prop::collection::vec(row, 1..=3);
+        (Just(n), obj, bounds, rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+    #[test]
+    fn simplex_matches_vertex_enumeration(
+        (n, obj, bounds, rows) in small_lp_strategy()
+    ) {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|j| lp.add_var(bounds[j].0, bounds[j].1, obj[j]))
+            .collect();
+        for (c, l, u) in &rows {
+            lp.add_row(vars.iter().zip(c).map(|(&v, &a)| (v, a)), *l, *u);
+        }
+        let sol = lp.solve().unwrap();
+        let brute = brute_force(n, &obj, &bounds, &rows);
+        match brute {
+            Some(best) => {
+                prop_assert_eq!(sol.status, Status::Optimal);
+                prop_assert!(
+                    (sol.objective - best).abs() <= 1e-5 * (1.0 + best.abs()),
+                    "simplex {} vs brute force {}", sol.objective, best
+                );
+            }
+            None => {
+                prop_assert_eq!(sol.status, Status::Infeasible);
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_random_feasible_lps_are_solved_exactly() {
+    // Deterministic seeds across a grid of sizes; checks objective against
+    // brute force for n=3 with two rows.
+    let cases: &[(Vec<f64>, Vec<(f64, f64)>, Vec<(Vec<f64>, f64, f64)>)] = &[
+        (
+            vec![1.0, 2.0, -1.0],
+            vec![(0.0, 4.0), (0.0, 4.0), (0.0, 4.0)],
+            vec![
+                (vec![1.0, 1.0, 1.0], -10.0, 6.0),
+                (vec![1.0, -1.0, 0.0], -2.0, 2.0),
+            ],
+        ),
+        (
+            vec![-1.0, -1.0, 3.0],
+            vec![(1.0, 3.0), (0.0, 2.0), (0.0, 5.0)],
+            vec![(vec![2.0, 1.0, -1.0], 0.0, 4.0)],
+        ),
+    ];
+    for (obj, bounds, rows) in cases {
+        let n = obj.len();
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|j| lp.add_var(bounds[j].0, bounds[j].1, obj[j]))
+            .collect();
+        for (c, l, u) in rows {
+            lp.add_row(vars.iter().zip(c).map(|(&v, &a)| (v, a)), *l, *u);
+        }
+        let sol = lp.solve().unwrap();
+        let best = brute_force(n, obj, bounds, rows).expect("feasible by construction");
+        assert!(
+            (sol.objective - best).abs() <= 1e-6 * (1.0 + best.abs()),
+            "simplex {} vs brute {}",
+            sol.objective,
+            best
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Network topology substrate for the PCF reproduction.
+//!
+//! This crate provides the graph model every other crate builds on:
+//!
+//! * [`graph`] — capacitated multigraphs with undirected links and directed
+//!   arc views ([`Topology`], [`NodeId`], [`LinkId`], [`ArcId`]);
+//! * [`zoo`] — deterministic synthetic stand-ins for the paper's 21
+//!   Internet Topology Zoo evaluation networks (Table 3);
+//! * [`gml`] — a parser for real Topology Zoo GML files;
+//! * [`transform`] — the paper's preprocessing steps (recursive degree-one
+//!   pruning, sub-link splitting for multi-failure experiments).
+
+pub mod gml;
+pub mod graph;
+pub mod transform;
+pub mod zoo;
+
+pub use graph::{ArcId, Link, LinkId, NodeId, Topology};

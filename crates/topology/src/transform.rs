@@ -1,0 +1,152 @@
+//! Topology transforms used by the paper's evaluation setup (§5).
+//!
+//! * [`prune_degree_one`] — "We remove one-degree nodes in the topologies
+//!   recursively so that the networks are not disconnected with any single
+//!   link failure."
+//! * [`split_sublinks`] — "To avoid disconnecting the topologies, we split
+//!   the capacity of each link evenly across two sub-links that fail
+//!   independently." (multi-failure experiments, Fig. 12)
+
+use crate::graph::{NodeId, Topology};
+
+/// Recursively removes nodes of degree ≤ 1 (and their incident links).
+///
+/// Returns the pruned topology together with a map from old node ids to new
+/// node ids (`None` for removed nodes). Node labels and link capacities are
+/// preserved; link ids are renumbered densely.
+pub fn prune_degree_one(topo: &Topology) -> (Topology, Vec<Option<NodeId>>) {
+    let n = topo.node_count();
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = topo.nodes().map(|u| topo.degree(u)).collect();
+    // Worklist of candidate leaves.
+    let mut queue: Vec<NodeId> = topo.nodes().filter(|&u| degree[u.index()] <= 1).collect();
+    while let Some(u) = queue.pop() {
+        if !alive[u.index()] || degree[u.index()] > 1 {
+            continue;
+        }
+        alive[u.index()] = false;
+        for &(w, _) in topo.incident(u) {
+            if alive[w.index()] {
+                degree[w.index()] -= 1;
+                if degree[w.index()] <= 1 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    let mut out = Topology::new(topo.name().to_string());
+    let mut map: Vec<Option<NodeId>> = vec![None; n];
+    for u in topo.nodes() {
+        if alive[u.index()] {
+            map[u.index()] = Some(out.add_node(topo.node_name(u).to_string()));
+        }
+    }
+    for l in topo.links() {
+        let link = topo.link(l);
+        if let (Some(nu), Some(nv)) = (map[link.u.index()], map[link.v.index()]) {
+            out.add_link(nu, nv, link.capacity);
+        }
+    }
+    (out, map)
+}
+
+/// Splits every link into `parts` parallel sub-links with `1/parts` of the
+/// capacity each, failing independently.
+///
+/// The paper uses `parts = 2` so that designing for three simultaneous
+/// sub-link failures never disconnects a 2-edge-connected topology. Each
+/// sub-link records the parent [`crate::graph::LinkId`] in the *source* topology via
+/// [`crate::graph::Link::sublink_of`].
+pub fn split_sublinks(topo: &Topology, parts: usize) -> Topology {
+    assert!(parts >= 1, "parts must be at least 1");
+    let mut out = Topology::new(format!("{} (x{} sub-links)", topo.name(), parts));
+    for u in topo.nodes() {
+        out.add_node(topo.node_name(u).to_string());
+    }
+    for l in topo.links() {
+        let link = topo.link(l);
+        let cap = link.capacity / parts as f64;
+        for _ in 0..parts {
+            out.add_sublink(link.u, link.v, cap, l);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_removes_pendant_chain() {
+        // triangle with a two-node tail hanging off node 0
+        let mut t = Topology::new("tailed");
+        let n: Vec<_> = (0..5).map(|i| t.add_node(format!("n{i}"))).collect();
+        t.add_link(n[0], n[1], 1.0);
+        t.add_link(n[1], n[2], 1.0);
+        t.add_link(n[2], n[0], 1.0);
+        t.add_link(n[0], n[3], 1.0);
+        t.add_link(n[3], n[4], 1.0);
+        let (p, map) = prune_degree_one(&t);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.link_count(), 3);
+        assert!(map[3].is_none() && map[4].is_none());
+        assert!(map[0].is_some());
+        assert!(p.is_two_edge_connected());
+    }
+
+    #[test]
+    fn prune_keeps_two_edge_connected_graph_intact() {
+        let mut t = Topology::new("cycle");
+        let n: Vec<_> = (0..4).map(|i| t.add_node(format!("n{i}"))).collect();
+        for i in 0..4 {
+            t.add_link(n[i], n[(i + 1) % 4], 1.0);
+        }
+        let (p, map) = prune_degree_one(&t);
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.link_count(), 4);
+        assert!(map.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn prune_can_empty_a_tree() {
+        let mut t = Topology::new("path");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_link(a, b, 1.0);
+        t.add_link(b, c, 1.0);
+        let (p, _) = prune_degree_one(&t);
+        assert_eq!(p.node_count(), 0);
+        assert_eq!(p.link_count(), 0);
+    }
+
+    #[test]
+    fn split_produces_parallel_half_capacity_sublinks() {
+        let mut t = Topology::new("one link");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t.add_link(a, b, 4.0);
+        let s = split_sublinks(&t, 2);
+        assert_eq!(s.link_count(), 2);
+        for sl in s.links() {
+            assert_eq!(s.capacity(sl), 2.0);
+            assert_eq!(s.link(sl).sublink_of, Some(l));
+        }
+        assert_eq!(s.total_capacity(), t.total_capacity());
+        // Parallel sub-links keep the pair 2-edge-connected.
+        assert!(s.is_two_edge_connected());
+    }
+
+    #[test]
+    fn split_one_part_is_identity_up_to_metadata() {
+        let mut t = Topology::new("tri");
+        let n: Vec<_> = (0..3).map(|i| t.add_node(format!("n{i}"))).collect();
+        t.add_link(n[0], n[1], 1.0);
+        t.add_link(n[1], n[2], 2.0);
+        t.add_link(n[2], n[0], 3.0);
+        let s = split_sublinks(&t, 1);
+        assert_eq!(s.link_count(), 3);
+        assert_eq!(s.total_capacity(), 6.0);
+    }
+}

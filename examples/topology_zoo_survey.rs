@@ -1,0 +1,62 @@
+//! Survey PCF's benefit over FFC across the evaluation topologies — a
+//! command-line miniature of the paper's Fig. 11.
+//!
+//! ```text
+//! cargo run --release --example topology_zoo_survey [max_links]
+//! ```
+//!
+//! `max_links` (default 40) bounds the topology size so the survey finishes
+//! quickly; raise it to cover more of the 21 networks.
+
+use pcf_core::{
+    pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls, solve_pcf_tf, tunnel_instance,
+    FailureModel, RobustOptions,
+};
+use pcf_topology::zoo;
+use pcf_traffic::gravity;
+
+fn main() {
+    let max_links: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let fm = FailureModel::links(1);
+    let opts = RobustOptions::default();
+
+    println!(
+        "{:<16} {:>5} {:>5} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "topology", "|V|", "|E|", "FFC", "PCF-TF", "PCF-LS", "TF/FFC", "LS/FFC"
+    );
+    let mut ratios_tf = Vec::new();
+    let mut ratios_ls = Vec::new();
+    for topo in zoo::build_all() {
+        if topo.link_count() > max_links {
+            continue;
+        }
+        let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 1), 0.6);
+        let ffc = solve_ffc(&tunnel_instance(&topo, &tm, 2), &fm, &opts);
+        let tf = solve_pcf_tf(&tunnel_instance(&topo, &tm, 3), &fm, &opts);
+        let ls = solve_pcf_ls(&pcf_ls_instance(&topo, &tm, 3), &fm, &opts);
+        let rt = tf.objective / ffc.objective;
+        let rl = ls.objective / ffc.objective;
+        ratios_tf.push(rt);
+        ratios_ls.push(rl);
+        println!(
+            "{:<16} {:>5} {:>5} {:>8.4} {:>8.4} {:>8.4} {:>7.2}x {:>7.2}x",
+            topo.name(),
+            topo.node_count(),
+            topo.link_count(),
+            ffc.objective,
+            tf.objective,
+            ls.objective,
+            rt,
+            rl
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "\nmean improvement over FFC: PCF-TF {:.2}x, PCF-LS {:.2}x (paper: 1.11x / 1.22x across all 21)",
+        mean(&ratios_tf),
+        mean(&ratios_ls)
+    );
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the core congestion-freedom invariants.
+//!
+//! Strategy: generate random 2-edge-connected topologies (ring + random
+//! chords), random demand subsets, and random failure budgets; solve each
+//! scheme; then *enumerate every concrete failure scenario* and check that
+//! the realized routing never overloads a link and always delivers the
+//! admitted demand. This is the system-level contract of the paper.
+
+use proptest::prelude::*;
+
+use pcf_core::realize::{realize_routing, FailureState};
+use pcf_core::validate::validate_all;
+use pcf_core::{
+    pcf_ls_instance, solve_ffc, solve_pcf_ls, solve_pcf_tf, tunnel_instance, FailureModel,
+    Instance, RobustOptions, RobustSolution,
+};
+use pcf_topology::{NodeId, Topology};
+use pcf_traffic::TrafficMatrix;
+
+/// Builds a ring + chords topology (always 2-edge-connected).
+fn ring_with_chords(n: usize, chords: &[(usize, usize)], caps: &[f64]) -> Topology {
+    let mut t = Topology::new("random");
+    let nodes: Vec<NodeId> = (0..n).map(|i| t.add_node(format!("n{i}"))).collect();
+    let mut ci = 0usize;
+    let mut cap = |ci: &mut usize| {
+        let c = caps[*ci % caps.len()];
+        *ci += 1;
+        c
+    };
+    for i in 0..n {
+        t.add_link(nodes[i], nodes[(i + 1) % n], cap(&mut ci));
+    }
+    for &(a, b) in chords {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            // parallel links are fine; keep them for generality
+            t.add_link(nodes[a], nodes[b], cap(&mut ci));
+        }
+    }
+    t
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (5usize..8)
+        .prop_flat_map(|n| {
+            let chords = prop::collection::vec((0usize..n, 0usize..n), 1..4);
+            let caps = prop::collection::vec(prop::sample::select(vec![1.0, 2.0, 4.0]), 4);
+            (Just(n), chords, caps)
+        })
+        .prop_map(|(n, chords, caps)| ring_with_chords(n, &chords, &caps))
+}
+
+fn arb_demands(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0usize..n, 0usize..n, 0.2..1.5f64), 2..5)
+}
+
+fn served(inst: &Instance, sol: &RobustSolution) -> Vec<f64> {
+    inst.pair_ids()
+        .map(|p| sol.z[p.0] * inst.demand(p))
+        .collect()
+}
+
+fn tm_from(n: usize, demands: &[(usize, usize, f64)]) -> Option<TrafficMatrix> {
+    let mut tm = TrafficMatrix::zeros(n);
+    let mut any = false;
+    for &(s, t, d) in demands {
+        let (s, t) = (s % n, t % n);
+        if s != t {
+            tm.set_demand(NodeId(s as u32), NodeId(t as u32), d);
+            any = true;
+        }
+    }
+    any.then_some(tm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FFC, PCF-TF and PCF-LS allocations are congestion-free under every
+    /// concrete targeted scenario, and each admits no less than the scheme
+    /// below it in the dominance order.
+    #[test]
+    fn schemes_are_congestion_free_and_ordered(
+        topo in arb_topology(),
+        demands in arb_demands(8),
+        f in 1usize..=2,
+    ) {
+        let n = topo.node_count();
+        let Some(tm) = tm_from(n, &demands) else { return Ok(()); };
+        let fm = FailureModel::links(f);
+        let opts = RobustOptions::default();
+
+        let ti = tunnel_instance(&topo, &tm, 3);
+        let ffc = solve_ffc(&ti, &fm, &opts);
+        let tf = solve_pcf_tf(&ti, &fm, &opts);
+        prop_assert!(tf.objective >= ffc.objective - 1e-6 * (1.0 + ffc.objective));
+
+        let li = pcf_ls_instance(&topo, &tm, 3);
+        let ls = solve_pcf_ls(&li, &fm, &opts);
+
+        for (inst, sol, label) in [(&ti, &ffc, "ffc"), (&ti, &tf, "pcf-tf"), (&li, &ls, "pcf-ls")] {
+            let report = validate_all(inst, &fm, &sol.a, &sol.b, &served(inst, sol), 1e-6);
+            prop_assert!(
+                report.congestion_free(),
+                "{label} violated: {:?}",
+                report.violations.first().map(|v| &v.kind)
+            );
+        }
+    }
+
+    /// The utilization vector of the realized routing is always within
+    /// [0, 1] (Proposition 5), and dead tunnels carry nothing.
+    #[test]
+    fn realization_invariants(
+        topo in arb_topology(),
+        demands in arb_demands(8),
+    ) {
+        let n = topo.node_count();
+        let Some(tm) = tm_from(n, &demands) else { return Ok(()); };
+        let fm = FailureModel::links(1);
+        let inst = pcf_ls_instance(&topo, &tm, 3);
+        let sol = solve_pcf_ls(&inst, &fm, &RobustOptions::default());
+        let sv = served(&inst, &sol);
+        for mask in fm.enumerate_scenarios(inst.topo()) {
+            let state = FailureState::new(&inst, &mask);
+            let routing = realize_routing(&inst, &state, &sol.a, &sol.b, &sv, 1e-6)
+                .expect("solved allocation must realize");
+            for u in &routing.u {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(u), "u = {u}");
+            }
+            for l in inst.tunnel_ids() {
+                if !state.tunnel_alive[l.0] {
+                    prop_assert_eq!(routing.tunnel_flow[l.0], 0.0);
+                }
+            }
+        }
+    }
+
+    /// Demand scale is monotone: a larger failure budget can never admit
+    /// more traffic.
+    #[test]
+    fn admission_monotone_in_failure_budget(
+        topo in arb_topology(),
+        demands in arb_demands(8),
+    ) {
+        let n = topo.node_count();
+        let Some(tm) = tm_from(n, &demands) else { return Ok(()); };
+        let inst = tunnel_instance(&topo, &tm, 3);
+        let opts = RobustOptions::default();
+        let mut prev = f64::INFINITY;
+        for f in 0..=2 {
+            let sol = solve_pcf_tf(&inst, &FailureModel::links(f), &opts);
+            prop_assert!(
+                sol.objective <= prev + 1e-6 * (1.0 + prev.min(1e9)),
+                "f={f}: {} > previous {prev}",
+                sol.objective
+            );
+            prev = sol.objective;
+        }
+    }
+}

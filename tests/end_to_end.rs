@@ -1,0 +1,142 @@
+//! End-to-end pipeline tests: from a zoo topology and gravity traffic all
+//! the way to a validated, congestion-free routing under every targeted
+//! failure scenario, for every scheme.
+
+use pcf_core::realize::{greedy_topsort, topological_order};
+use pcf_core::validate::validate_all;
+use pcf_core::{
+    pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls, solve_pcf_tf,
+    tunnel_instance, FailureModel, Instance, RobustOptions, RobustSolution,
+};
+use pcf_topology::{transform::split_sublinks, zoo};
+use pcf_traffic::gravity;
+
+fn served(inst: &Instance, sol: &RobustSolution) -> Vec<f64> {
+    inst.pair_ids()
+        .map(|p| sol.z[p.0] * inst.demand(p))
+        .collect()
+}
+
+fn check(inst: &Instance, sol: &RobustSolution, fm: &FailureModel, label: &str) {
+    let report = validate_all(inst, fm, &sol.a, &sol.b, &served(inst, sol), 1e-6);
+    assert!(
+        report.congestion_free(),
+        "{label}: {} violations, first: {:?}",
+        report.violations.len(),
+        report.violations.first().map(|v| &v.kind)
+    );
+}
+
+#[test]
+fn sprint_ffc_is_congestion_free_under_all_single_failures() {
+    let topo = zoo::build("Sprint");
+    let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 21), 0.6);
+    let fm = FailureModel::links(1);
+    let inst = tunnel_instance(&topo, &tm, 2);
+    let sol = solve_ffc(&inst, &fm, &RobustOptions::default());
+    assert!(sol.objective > 0.2, "FFC too weak: {}", sol.objective);
+    check(&inst, &sol, &fm, "FFC");
+}
+
+#[test]
+fn sprint_pcf_tf_is_congestion_free_under_all_single_failures() {
+    let topo = zoo::build("Sprint");
+    let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 21), 0.6);
+    let fm = FailureModel::links(1);
+    let inst = tunnel_instance(&topo, &tm, 3);
+    let sol = solve_pcf_tf(&inst, &fm, &RobustOptions::default());
+    check(&inst, &sol, &fm, "PCF-TF");
+}
+
+#[test]
+fn sprint_pcf_ls_is_congestion_free_under_all_single_failures() {
+    let topo = zoo::build("Sprint");
+    let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 21), 0.6);
+    let fm = FailureModel::links(1);
+    let inst = pcf_ls_instance(&topo, &tm, 3);
+    let sol = solve_pcf_ls(&inst, &fm, &RobustOptions::default());
+    check(&inst, &sol, &fm, "PCF-LS");
+}
+
+#[test]
+fn sprint_pcf_cls_is_congestion_free_under_all_single_failures() {
+    let topo = zoo::build("Sprint");
+    let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 21), 0.6);
+    let fm = FailureModel::links(1);
+    let cls = pcf_cls_pipeline(&topo, &tm, 3, &fm, &RobustOptions::default());
+    check(&cls.instance, &cls.solution, &fm, "PCF-CLS");
+}
+
+#[test]
+fn b4_sublinks_double_failure_end_to_end() {
+    // The Fig. 12 setup in miniature: split links into sub-links, design
+    // for f = 2 sub-link failures, then validate over all C(38,2) = 703
+    // concrete scenarios.
+    let topo = split_sublinks(&zoo::build("B4"), 2);
+    let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 4), 0.6);
+    let fm = FailureModel::links(2);
+    let inst = tunnel_instance(&topo, &tm, 4);
+    let sol = solve_pcf_tf(&inst, &fm, &RobustOptions::default());
+    assert!(sol.objective > 0.0);
+    check(&inst, &sol, &fm, "PCF-TF sublinks f=2");
+}
+
+#[test]
+fn node_failures_end_to_end() {
+    // §3.5: node failures as link groups. Design against any single node
+    // failure; traffic to/from the failed node is lost, but transit pairs
+    // must stay congestion-free.
+    let topo = zoo::build("B4");
+    let tm = {
+        // Demands only between nodes 0 and 5 so a middle-node failure is a
+        // pure transit event.
+        let mut m = pcf_traffic::TrafficMatrix::zeros(topo.node_count());
+        m.set_demand(pcf_topology::NodeId(0), pcf_topology::NodeId(5), 1.0);
+        m.set_demand(pcf_topology::NodeId(5), pcf_topology::NodeId(0), 1.0);
+        m
+    };
+    // Exclude the endpoints' own groups: protect against any *other* node
+    // failing.
+    let groups: Vec<Vec<pcf_topology::LinkId>> = topo
+        .nodes()
+        .filter(|n| n.index() != 0 && n.index() != 5)
+        .map(|n| topo.incident(n).iter().map(|&(_, l)| l).collect())
+        .collect();
+    let fm = FailureModel::Groups { groups, f: 1 };
+    let inst = tunnel_instance(&topo, &tm, 3);
+    let sol = solve_pcf_tf(&inst, &fm, &RobustOptions::default());
+    assert!(sol.objective > 0.0, "transit pairs survive node failures");
+    check(&inst, &sol, &fm, "PCF-TF node failures");
+}
+
+#[test]
+fn cls_topsort_pipeline_end_to_end() {
+    // §5.2: prune CLS logical sequences to a topologically sorted subset
+    // and re-solve; the result must still beat plain PCF-TF... at minimum
+    // be valid and positive.
+    let topo = zoo::build("Sprint");
+    let (tm, _) = scale_to_mlu(&topo, &gravity(&topo, 8), 0.6);
+    let fm = FailureModel::links(1);
+    let cls = pcf_cls_pipeline(&topo, &tm, 3, &fm, &RobustOptions::default());
+    // Collect the final LS set and prune to sortable.
+    let all_lss: Vec<_> = cls
+        .instance
+        .ls_ids()
+        .map(|q| cls.instance.ls(q).clone())
+        .collect();
+    let (kept, pruned) = greedy_topsort(&all_lss);
+    assert!(kept.len() + pruned == all_lss.len());
+    // Rebuild and re-solve with the sorted subset.
+    let mut b = pcf_core::instance::InstanceBuilder::new(&topo, &tm).tunnels_per_pair(3);
+    for ls in &kept {
+        b = b.add_ls(ls.clone());
+    }
+    let inst = b.build();
+    let sol = solve_pcf_ls(&inst, &fm, &RobustOptions::default());
+    assert!(
+        topological_order(&inst, &sol.b).is_some(),
+        "pruned LS set must be sortable"
+    );
+    assert!(sol.objective > 0.0);
+    check(&inst, &sol, &fm, "PCF-CLS-TopSort");
+}
