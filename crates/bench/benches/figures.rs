@@ -1,12 +1,12 @@
-//! Criterion benches: one per paper table/figure, timing the workload that
-//! regenerates it (at reduced scale so Criterion's repeated sampling stays
-//! affordable — the full data generation lives in the `experiments` binary).
+//! Benches: one per paper table/figure, timing the workload that
+//! regenerates it (at reduced scale so repeated sampling stays affordable —
+//! the full data generation lives in the `experiments` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pcf_bench::harness::Harness;
 use pcf_bench::Scale;
 use pcf_core::{
-    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, solve_ffc, solve_pcf_ls,
-    solve_pcf_tf, tunnel_instance, FailureModel, RobustOptions, ScenarioCoverage,
+    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, solve_ffc, solve_pcf_ls, solve_pcf_tf,
+    tunnel_instance, FailureModel, RobustOptions, ScenarioCoverage,
 };
 use pcf_topology::transform::split_sublinks;
 use pcf_topology::zoo;
@@ -23,7 +23,7 @@ fn tiny() -> Scale {
     }
 }
 
-fn bench_fig2_and_table1(c: &mut Criterion) {
+fn bench_fig2_and_table1(c: &mut Harness) {
     c.bench_function("fig2/fig1_examples", |b| {
         b.iter(|| black_box(pcf_bench::fig2()))
     });
@@ -32,7 +32,7 @@ fn bench_fig2_and_table1(c: &mut Criterion) {
     });
 }
 
-fn bench_fig8_ffc_tunnel_sweep(c: &mut Criterion) {
+fn bench_fig8_ffc_tunnel_sweep(c: &mut Harness) {
     let scale = tiny();
     let topo = zoo::build("Sprint");
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -50,15 +50,13 @@ fn bench_fig8_ffc_tunnel_sweep(c: &mut Criterion) {
     }
     g.bench_function("optimal_sampled", |b| {
         b.iter(|| {
-            black_box(
-                optimal_demand_scale(&w.topo, &w.tm, &fm, ScenarioCoverage::Sampled(10)).0,
-            )
+            black_box(optimal_demand_scale(&w.topo, &w.tm, &fm, ScenarioCoverage::Sampled(10)).0)
         })
     });
     g.finish();
 }
 
-fn bench_fig9_pcf_tf(c: &mut Criterion) {
+fn bench_fig9_pcf_tf(c: &mut Harness) {
     let scale = tiny();
     let topo = zoo::build("Sprint");
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -77,7 +75,7 @@ fn bench_fig9_pcf_tf(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig10_schemes(c: &mut Criterion) {
+fn bench_fig10_schemes(c: &mut Harness) {
     let scale = tiny();
     let topo = zoo::build("Sprint");
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -92,12 +90,18 @@ fn bench_fig10_schemes(c: &mut Criterion) {
         })
     });
     g.bench_function("pcf_cls_pipeline", |b| {
-        b.iter(|| black_box(pcf_cls_pipeline(&w.topo, &w.tm, 3, &fm, &opts).solution.objective))
+        b.iter(|| {
+            black_box(
+                pcf_cls_pipeline(&w.topo, &w.tm, 3, &fm, &opts)
+                    .solution
+                    .objective,
+            )
+        })
     });
     g.finish();
 }
 
-fn bench_fig11_row(c: &mut Criterion) {
+fn bench_fig11_row(c: &mut Harness) {
     let scale = tiny();
     let topo = zoo::build("Sprint");
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -110,7 +114,7 @@ fn bench_fig11_row(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig12_sublinks(c: &mut Criterion) {
+fn bench_fig12_sublinks(c: &mut Harness) {
     let scale = tiny();
     let topo = split_sublinks(&zoo::build("Sprint"), 2);
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -133,7 +137,7 @@ fn bench_fig12_sublinks(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig13_throughput(c: &mut Criterion) {
+fn bench_fig13_throughput(c: &mut Harness) {
     let scale = tiny();
     let topo = split_sublinks(&zoo::build("Sprint"), 2);
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -153,7 +157,7 @@ fn bench_fig13_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig14_solve_times(c: &mut Criterion) {
+fn bench_fig14_solve_times(c: &mut Harness) {
     // Fig. 14 *is* a timing figure; this group is its per-topology data
     // point at bench fidelity.
     let scale = tiny();
@@ -170,18 +174,22 @@ fn bench_fig14_solve_times(c: &mut Criterion) {
         })
     });
     g.bench_function("offline_pcf_cls", |b| {
-        b.iter(|| black_box(pcf_cls_pipeline(&w.topo, &w.tm, 6, &fm, &opts).solution.objective))
+        b.iter(|| {
+            black_box(
+                pcf_cls_pipeline(&w.topo, &w.tm, 6, &fm, &opts)
+                    .solution
+                    .objective,
+            )
+        })
     });
     g.bench_function("optimal_one_scenario", |b| {
         let mask = vec![false; w.topo.link_count()];
-        b.iter(|| {
-            black_box(pcf_core::max_concurrent_flow(&w.topo, &w.tm, Some(&mask)).value())
-        })
+        b.iter(|| black_box(pcf_core::max_concurrent_flow(&w.topo, &w.tm, Some(&mask)).value()))
     });
     g.finish();
 }
 
-fn bench_topsort(c: &mut Criterion) {
+fn bench_topsort(c: &mut Harness) {
     let scale = tiny();
     let topo = zoo::build("Sprint");
     let w = pcf_bench::workload(&topo, 100, &scale);
@@ -200,16 +208,16 @@ fn bench_topsort(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig2_and_table1,
-    bench_fig8_ffc_tunnel_sweep,
-    bench_fig9_pcf_tf,
-    bench_fig10_schemes,
-    bench_fig11_row,
-    bench_fig12_sublinks,
-    bench_fig13_throughput,
-    bench_fig14_solve_times,
-    bench_topsort,
-);
-criterion_main!(figures);
+fn main() {
+    let mut c = Harness::from_args("figures");
+    bench_fig2_and_table1(&mut c);
+    bench_fig8_ffc_tunnel_sweep(&mut c);
+    bench_fig9_pcf_tf(&mut c);
+    bench_fig10_schemes(&mut c);
+    bench_fig11_row(&mut c);
+    bench_fig12_sublinks(&mut c);
+    bench_fig13_throughput(&mut c);
+    bench_fig14_solve_times(&mut c);
+    bench_topsort(&mut c);
+    c.finish();
+}

@@ -1,16 +1,19 @@
-//! Criterion benches for the substrate: LP solver, linear systems, paths,
-//! and the online failure-response step (the paper's "solving a linear
-//! system is much faster than solving LPs" claim, §4.1).
+//! Benches for the substrate: LP solver, linear systems, paths, the online
+//! failure-response step (the paper's "solving a linear system is much
+//! faster than solving LPs" claim, §4.1), and the incremental warm-started
+//! robust engine against a cold rebuild-every-round baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pcf_bench::harness::Harness;
 use pcf_core::realize::{proportional_routing, realize_routing, FailureState};
-use pcf_core::{pcf_ls_instance, solve_pcf_ls, FailureModel, RobustOptions};
+use pcf_core::{
+    pcf_ls_instance, solve_pcf_ls, solve_pcf_tf, tunnel_instance, FailureModel, RobustOptions,
+};
 use pcf_lp::{solve_dense, solve_gauss_seidel, DenseMatrix, LpProblem, Sense};
 use pcf_topology::zoo;
 use pcf_traffic::gravity;
 use std::hint::black_box;
 
-fn bench_simplex(c: &mut Criterion) {
+fn bench_simplex(c: &mut Harness) {
     let mut g = c.benchmark_group("lp");
     g.sample_size(20);
     // A structured LP: transportation problem 12x12.
@@ -36,7 +39,7 @@ fn bench_simplex(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_linear_system_vs_lp(c: &mut Criterion) {
+fn bench_linear_system_vs_lp(c: &mut Harness) {
     // The paper's §4.1 point: responding to a failure needs only a linear
     // system solve, much cheaper than re-running an optimization.
     let topo = zoo::build("Sprint");
@@ -80,7 +83,7 @@ fn bench_linear_system_vs_lp(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_mmatrix_solvers(c: &mut Criterion) {
+fn bench_mmatrix_solvers(c: &mut Harness) {
     // Diagonally dominant M-matrix, n = 100.
     let n = 100;
     let mut m = DenseMatrix::zeros(n);
@@ -92,7 +95,7 @@ fn bench_mmatrix_solvers(c: &mut Criterion) {
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
     let mut g = c.benchmark_group("linsys");
     g.bench_function("dense_gaussian_100", |bch| {
-        bch.iter(|| black_box(solve_dense(&m, &[b.clone()]).unwrap()[0][0]))
+        bch.iter(|| black_box(solve_dense(&m, std::slice::from_ref(&b)).unwrap()[0][0]))
     });
     g.bench_function("gauss_seidel_100", |bch| {
         bch.iter(|| black_box(solve_gauss_seidel(&m, &b, 1e-10, 1000).unwrap()[0]))
@@ -100,7 +103,7 @@ fn bench_mmatrix_solvers(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_paths(c: &mut Criterion) {
+fn bench_paths(c: &mut Harness) {
     let topo = zoo::build("Deltacom");
     let mut g = c.benchmark_group("paths");
     g.bench_function("yen_8_deltacom", |b| {
@@ -132,11 +135,43 @@ fn bench_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    solver,
-    bench_simplex,
-    bench_linear_system_vs_lp,
-    bench_mmatrix_solvers,
-    bench_paths
-);
-criterion_main!(solver);
+fn bench_robust_engine(c: &mut Harness) {
+    // The incremental engine's two levers measured head-to-head: a live
+    // master warm-started across cutting-plane rounds with 4 separation
+    // threads, versus rebuilding the master from scratch every round on a
+    // single thread (how the engine worked before the refactor).
+    let topo = zoo::build("Sprint");
+    let tm = gravity(&topo, 7);
+    let inst = tunnel_instance(&topo, &tm, 4);
+    let fm = FailureModel::links(2);
+    let warm = RobustOptions {
+        threads: 4,
+        warm_start: true,
+        ..RobustOptions::default()
+    };
+    let cold = RobustOptions {
+        threads: 1,
+        warm_start: false,
+        ..RobustOptions::default()
+    };
+
+    let mut g = c.benchmark_group("robust_solve");
+    g.sample_size(10);
+    g.bench_function("warm_4threads", |b| {
+        b.iter(|| black_box(solve_pcf_tf(&inst, &fm, &warm).objective))
+    });
+    g.bench_function("cold_rebuild_1thread", |b| {
+        b.iter(|| black_box(solve_pcf_tf(&inst, &fm, &cold).objective))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Harness::from_args("solver");
+    bench_simplex(&mut c);
+    bench_linear_system_vs_lp(&mut c);
+    bench_mmatrix_solvers(&mut c);
+    bench_paths(&mut c);
+    bench_robust_engine(&mut c);
+    c.finish();
+}

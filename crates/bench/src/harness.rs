@@ -1,0 +1,353 @@
+//! A minimal in-tree benchmark harness (Criterion-shaped, zero deps).
+//!
+//! The workspace builds fully offline, so the former Criterion benches now
+//! run on this harness. The API mirrors the subset of Criterion the bench
+//! files used — [`Harness::bench_function`], [`Harness::benchmark_group`],
+//! [`Group::sample_size`], [`Bencher::iter`] — so bench bodies read the
+//! same.
+//!
+//! Behaviour:
+//! * under `cargo bench` (cargo passes `--bench`), every benchmark is
+//!   calibrated to ~1 ms per sample and timed over `sample_size` samples;
+//! * under `cargo test` (no `--bench`, or an explicit `--test`), every
+//!   benchmark body runs exactly once as a smoke test;
+//! * a summary table goes to stdout; if `PCF_BENCH_JSON` names a path, a
+//!   JSON report is written there as well.
+
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name, empty for top-level benchmarks.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Samples actually taken (1 in test mode).
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+/// Top-level harness; create with [`Harness::from_args`] in `main`.
+pub struct Harness {
+    bench_name: String,
+    test_mode: bool,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+}
+
+impl Harness {
+    /// Parses the argument conventions cargo uses for `harness = false`
+    /// targets: `--bench` means "really benchmark", `--test` (or absence of
+    /// `--bench`) means "run each body once". The first free argument, if
+    /// any, is a substring filter on `group/name`.
+    pub fn from_args(bench_name: &str) -> Harness {
+        let mut saw_bench = false;
+        let mut saw_test = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => saw_bench = true,
+                "--test" => saw_test = true,
+                s if s.starts_with("--") => {} // ignore list/format/etc.
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness {
+            bench_name: bench_name.to_string(),
+            test_mode: saw_test || !saw_bench,
+            filter,
+            results: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+
+    /// Runs a top-level benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run(String::new(), name.into(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group whose benchmarks share a sample size.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn run(
+        &mut self,
+        group: String,
+        name: String,
+        sample_size: usize,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let label = if group.is_empty() {
+            name.clone()
+        } else {
+            format!("{group}/{name}")
+        };
+        if let Some(filt) = &self.filter {
+            if !label.contains(filt.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            result: None,
+        };
+        f(&mut b);
+        let Some((samples, iters, times)) = b.result else {
+            return; // body never called iter()
+        };
+        let mut per_iter: Vec<f64> = times.iter().map(|&ns| ns as f64 / iters as f64).collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let res = BenchResult {
+            group,
+            name,
+            samples,
+            iters_per_sample: iters,
+            mean_ns: mean,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        if self.test_mode {
+            println!("test {label} ... ok (ran once)");
+        } else {
+            println!(
+                "{label}: median {} (mean {}, {} samples x {} iters)",
+                fmt_ns(res.median_ns),
+                fmt_ns(res.mean_ns),
+                res.samples,
+                res.iters_per_sample,
+            );
+        }
+        self.results.push(res);
+    }
+
+    /// Prints the closing summary and writes the JSON report when
+    /// `PCF_BENCH_JSON` is set. Call last in `main`.
+    pub fn finish(self) {
+        if self.test_mode {
+            println!(
+                "{}: {} benchmark(s) smoke-tested",
+                self.bench_name,
+                self.results.len()
+            );
+        }
+        if let Ok(path) = std::env::var("PCF_BENCH_JSON") {
+            let json = self.to_json();
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("wrote {path}");
+            }
+        }
+    }
+
+    /// The report as a JSON document (hand-rolled; no serializer in-tree).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"bench\": {},\n  \"mode\": \"{}\",\n  \"results\": [\n",
+            json_string(&self.bench_name),
+            if self.test_mode { "test" } else { "bench" },
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": {}, \"name\": {}, \"samples\": {}, \
+                 \"iters_per_sample\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+                json_string(&r.group),
+                json_string(&r.name),
+                r.samples,
+                r.iters_per_sample,
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Results collected so far (mainly for tests of the harness itself).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A benchmark group sharing a sample size, mirroring Criterion's.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl Group<'_> {
+    /// Overrides the number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(self.harness.default_sample_size);
+        self.harness
+            .run(self.name.clone(), name.into(), sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for Criterion API parity; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`]
+/// with the body to measure.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// `(samples, iters_per_sample, per-sample wall time in ns)`.
+    result: Option<(usize, u64, Vec<u128>)>,
+}
+
+impl Bencher {
+    /// Measures `f`, calibrated so one sample spans at least ~1 ms. In test
+    /// mode `f` runs exactly once.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.result = Some((1, 1, vec![t.elapsed().as_nanos().max(1)]));
+            return;
+        }
+        // Calibration: aim for >= 1 ms per sample.
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let once = t.elapsed().as_nanos().max(1);
+        let iters = (1_000_000u128.div_ceil(once)).clamp(1, 1_000_000) as u64;
+        let mut times = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            times.push(t.elapsed().as_nanos().max(1));
+        }
+        self.result = Some((self.sample_size, iters, times));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_harness(name: &str) -> Harness {
+        Harness {
+            bench_name: name.to_string(),
+            test_mode: true,
+            filter: None,
+            results: Vec::new(),
+            default_sample_size: 20,
+        }
+    }
+
+    #[test]
+    fn groups_and_toplevel_benches_record_results() {
+        let mut h = test_harness("t");
+        h.bench_function("top", |b| b.iter(|| 1 + 1));
+        let mut g = h.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert_eq!(h.results().len(), 2);
+        assert_eq!(h.results()[0].name, "top");
+        assert_eq!(h.results()[1].group, "grp");
+        // Test mode: exactly one sample of one iteration.
+        assert_eq!(h.results()[1].samples, 1);
+        assert_eq!(h.results()[1].iters_per_sample, 1);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let mut h = test_harness("json");
+        h.bench_function("a\"quote", |b| b.iter(|| 0));
+        let j = h.to_json();
+        assert!(j.contains("\"bench\": \"json\""));
+        assert!(j.contains("\\\"quote"));
+        assert!(j.trim_end().ends_with('}'));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn timings_are_positive_and_ordered() {
+        let mut h = test_harness("ord");
+        h.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..1000 {
+                    s = s.wrapping_add(std::hint::black_box(i));
+                }
+                s
+            })
+        });
+        let r = &h.results()[0];
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.max_ns);
+    }
+}

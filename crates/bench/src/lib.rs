@@ -4,8 +4,8 @@
 //! Each `fig*`/`table1` runner reproduces the corresponding artifact's data
 //! series and prints it in row/series form (the repository has no plotting
 //! dependency; the printed CDF/series data is what the paper's figures
-//! plot). The binary `experiments` drives the runners; the Criterion
-//! benches in `benches/` time the per-figure workloads.
+//! plot). The binary `experiments` drives the runners; the benches in
+//! `benches/` time the per-figure workloads on the in-tree [`harness`].
 //!
 //! Scale control: the paper runs Gurobi on all 21 topologies with every
 //! node pair. A from-scratch simplex needs smaller masters, so [`Scale`]
@@ -16,14 +16,15 @@
 use pcf_core::objective::{overhead_reduction_pct, throughput_overhead};
 use pcf_core::realize::{greedy_topsort, topological_order};
 use pcf_core::{
-    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc,
-    solve_pcf_ls, solve_pcf_tf, tunnel_instance, FailureModel, Objective, RobustOptions,
-    ScenarioCoverage,
+    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
+    solve_pcf_tf, tunnel_instance, FailureModel, Objective, RobustOptions, ScenarioCoverage,
 };
 use pcf_topology::transform::split_sublinks;
 use pcf_topology::{zoo, Topology};
 use pcf_traffic::{gravity, TrafficMatrix};
 use std::time::Instant;
+
+pub mod harness;
 
 /// Experiment scale knobs.
 #[derive(Debug, Clone)]
@@ -56,7 +57,15 @@ impl Scale {
         Scale {
             mass_fraction: 0.9,
             max_pairs: 90,
-            topologies: vec!["Sprint", "B4", "IBM", "Highwinds", "CWIX", "Quest", "Darkstrand"],
+            topologies: vec![
+                "Sprint",
+                "B4",
+                "IBM",
+                "Highwinds",
+                "CWIX",
+                "Quest",
+                "Darkstrand",
+            ],
             sublink_topologies: vec!["Sprint", "B4", "IBM"],
             big_topology: "Sprint",
             tm_count: 3,
@@ -180,7 +189,13 @@ pub fn fig2() -> Vec<(&'static str, f64, f64)> {
     let mut tm = TrafficMatrix::zeros(topo.node_count());
     tm.set_demand(ids.s, ids.t, 1.0);
     let opt = |f: usize| {
-        optimal_demand_scale(&topo, &tm, &FailureModel::links(f), ScenarioCoverage::Exhaustive).0
+        optimal_demand_scale(
+            &topo,
+            &tm,
+            &FailureModel::links(f),
+            ScenarioCoverage::Exhaustive,
+        )
+        .0
     };
     let ffc =
         |k: usize, f: usize| solve_ffc(&fig1_instance(k), &FailureModel::links(f), &opts).objective;
@@ -530,8 +545,7 @@ pub fn run_fig13(scale: &Scale) {
     for (name, tf, ls, cls) in &rows {
         println!("  {name:<16} TF {tf:>6.1}%  LS {ls:>6.1}%  CLS {cls:>6.1}%");
     }
-    let col =
-        |f: fn(&(String, f64, f64, f64)) -> f64| -> Vec<f64> { rows.iter().map(f).collect() };
+    let col = |f: fn(&(String, f64, f64, f64)) -> f64| -> Vec<f64> { rows.iter().map(f).collect() };
     print_cdf("PCF-TF%", &col(|r| r.1));
     print_cdf("PCF-LS%", &col(|r| r.2));
     print_cdf("PCF-CLS%", &col(|r| r.3));
@@ -641,48 +655,6 @@ pub fn run_topsort(scale: &Scale) {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn cdf_is_sorted_and_normalised() {
-        let c = cdf(&[3.0, 1.0, 2.0]);
-        assert_eq!(c.len(), 3);
-        assert_eq!(c[0].0, 1.0);
-        assert!((c[2].1 - 1.0).abs() < 1e-12);
-        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
-    }
-
-    #[test]
-    fn workload_truncation_reports_counts() {
-        let topo = zoo::build("Sprint");
-        let scale = Scale::quick();
-        let w = workload(&topo, 1, &scale);
-        assert!(w.kept_pairs <= w.total_pairs);
-        assert!(w.kept_pairs <= scale.max_pairs);
-        assert!(w.tm.total() > 0.0);
-    }
-
-    #[test]
-    fn scale_parse() {
-        assert!(Scale::parse("quick").is_some());
-        assert!(Scale::parse("medium").is_some());
-        assert!(Scale::parse("paper").is_some());
-        assert!(Scale::parse("bogus").is_none());
-    }
-
-    #[test]
-    fn fig2_matches_paper() {
-        let rows = fig2();
-        let get = |n: &str| rows.iter().find(|r| r.0 == n).unwrap();
-        assert!((get("Optimal").1 - 2.0).abs() < 1e-5);
-        assert!((get("FFC-3").1 - 1.5).abs() < 1e-5);
-        assert!((get("FFC-4").1 - 1.0).abs() < 1e-5);
-        assert!((get("FFC-4").2 - 0.0).abs() < 1e-6);
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Ablations and extensions beyond the paper's figures.
 // ---------------------------------------------------------------------------
@@ -706,22 +678,14 @@ pub fn relaxation_gap(scale: &Scale, f: usize) -> Vec<(String, f64, f64, f64)> {
             let topo = zoo::build(name);
             let w = workload(&topo, 100, scale);
             let inst = tunnel_instance(&w.topo, &w.tm, 3);
-            let relaxed =
-                solve_pcf_tf(&inst, &FailureModel::links(f), &opts).objective;
+            let relaxed = solve_pcf_tf(&inst, &FailureModel::links(f), &opts).objective;
             // Exact: enumerate all f-subsets as explicit scenarios.
             let scenarios: Vec<Vec<pcf_topology::LinkId>> = FailureModel::links(f)
                 .enumerate_scenarios(&topo)
                 .into_iter()
-                .map(|mask| {
-                    topo.links().filter(|l| mask[l.index()]).collect()
-                })
+                .map(|mask| topo.links().filter(|l| mask[l.index()]).collect())
                 .collect();
-            let exact = solve_pcf_tf(
-                &inst,
-                &FailureModel::Explicit { scenarios },
-                &opts,
-            )
-            .objective;
+            let exact = solve_pcf_tf(&inst, &FailureModel::Explicit { scenarios }, &opts).objective;
             let gap = if exact > 0.0 {
                 100.0 * (1.0 - relaxed / exact)
             } else {
@@ -737,9 +701,7 @@ pub fn run_relaxation_gap(scale: &Scale) {
     println!("== Ablation: x ∈ [0,1] relaxation vs exact enumeration (PCF-TF, f=1) ==");
     println!("  (the relaxation is safe — never above exact — and usually tight)");
     for (name, relaxed, exact, gap) in relaxation_gap(scale, 1) {
-        println!(
-            "  {name:<16} relaxed {relaxed:.4}  exact {exact:.4}  conservatism {gap:.1}%"
-        );
+        println!("  {name:<16} relaxed {relaxed:.4}  exact {exact:.4}  conservatism {gap:.1}%");
     }
 }
 
@@ -765,9 +727,7 @@ pub fn srlg_and_node(scale: &Scale) -> Vec<(String, f64, f64, f64)> {
             for n in topo.nodes() {
                 let mut inc: Vec<pcf_topology::LinkId> =
                     topo.incident(n).iter().map(|&(_, l)| l).collect();
-                inc.sort_by(|&a, &b| {
-                    topo.capacity(b).partial_cmp(&topo.capacity(a)).unwrap()
-                });
+                inc.sort_by(|&a, &b| topo.capacity(b).partial_cmp(&topo.capacity(a)).unwrap());
                 if inc.len() >= 2 && !grouped[inc[0].index()] && !grouped[inc[1].index()] {
                     grouped[inc[0].index()] = true;
                     grouped[inc[1].index()] = true;
@@ -779,17 +739,15 @@ pub fn srlg_and_node(scale: &Scale) -> Vec<(String, f64, f64, f64)> {
                     groups.push(vec![l]);
                 }
             }
-            let srlg =
-                solve_pcf_tf(&inst, &FailureModel::Groups { groups, f: 1 }, &opts).objective;
+            let srlg = solve_pcf_tf(&inst, &FailureModel::Groups { groups, f: 1 }, &opts).objective;
             // Node failures: traffic to/from a failed node is necessarily
             // lost, so guard only transit (non-endpoint) nodes — here, the
             // nodes that carry no demand after truncation.
-            let endpoints: std::collections::HashSet<u32> = w
-                .tm
-                .positive_pairs()
-                .into_iter()
-                .flat_map(|(s, t, _)| [s.0, t.0])
-                .collect();
+            let endpoints: std::collections::HashSet<u32> =
+                w.tm.positive_pairs()
+                    .into_iter()
+                    .flat_map(|(s, t, _)| [s.0, t.0])
+                    .collect();
             let node_groups: Vec<Vec<pcf_topology::LinkId>> = topo
                 .nodes()
                 .filter(|n| !endpoints.contains(&n.0))
@@ -800,7 +758,10 @@ pub fn srlg_and_node(scale: &Scale) -> Vec<(String, f64, f64, f64)> {
             } else {
                 solve_pcf_tf(
                     &inst,
-                    &FailureModel::Groups { groups: node_groups, f: 1 },
+                    &FailureModel::Groups {
+                        groups: node_groups,
+                        f: 1,
+                    },
                     &opts,
                 )
                 .objective
@@ -817,7 +778,11 @@ pub fn run_srlg(scale: &Scale) {
     for (name, links, srlg, node) in srlg_and_node(scale) {
         println!(
             "  {name:<16} links {links:.4}  srlg {srlg:.4}  transit-node {}",
-            if node.is_nan() { "n/a".into() } else { format!("{node:.4}") }
+            if node.is_nan() {
+                "n/a".into()
+            } else {
+                format!("{node:.4}")
+            }
         );
     }
 }
@@ -845,8 +810,8 @@ pub fn bypass_path_ablation(scale: &Scale) -> Vec<(usize, f64, f64)> {
                 }
             }
             let flows = bypass_flows(&w.topo, paths);
-            let mut b1 = pcf_core::instance::InstanceBuilder::new(&w.topo, &w.tm)
-                .tunnels_per_pair(3);
+            let mut b1 =
+                pcf_core::instance::InstanceBuilder::new(&w.topo, &w.tm).tunnels_per_pair(3);
             for ls in &always {
                 b1 = b1.add_ls(ls.clone());
             }
@@ -864,8 +829,8 @@ pub fn bypass_path_ablation(scale: &Scale) -> Vec<(usize, f64, f64)> {
             };
             let fsol = solve_logical_flow(&inst1, &flows, &fm, &flow_opts);
             let conditional = decompose_flows(&w.topo, &flows, &fsol, 1e-7);
-            let mut b2 = pcf_core::instance::InstanceBuilder::new(&w.topo, &w.tm)
-                .tunnels_per_pair(3);
+            let mut b2 =
+                pcf_core::instance::InstanceBuilder::new(&w.topo, &w.tm).tunnels_per_pair(3);
             for ls in always.iter().chain(conditional.iter()) {
                 b2 = b2.add_ls(ls.clone());
             }
@@ -955,5 +920,47 @@ pub fn run_r3_comparison(scale: &Scale) {
     println!("== Extension: R3 vs Generalized-R3 (Prop. 4) vs PCF-TF, f=1 ==");
     for (name, r3, gr3, tf) in r3_comparison(scale) {
         println!("  {name:<16} R3 {r3:.4}  GenR3 {gr3:.4}  PCF-TF {tf:.4}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_sorted_and_normalised() {
+        let c = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0].0, 1.0);
+        assert!((c[2].1 - 1.0).abs() < 1e-12);
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn workload_truncation_reports_counts() {
+        let topo = zoo::build("Sprint");
+        let scale = Scale::quick();
+        let w = workload(&topo, 1, &scale);
+        assert!(w.kept_pairs <= w.total_pairs);
+        assert!(w.kept_pairs <= scale.max_pairs);
+        assert!(w.tm.total() > 0.0);
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert!(Scale::parse("quick").is_some());
+        assert!(Scale::parse("medium").is_some());
+        assert!(Scale::parse("paper").is_some());
+        assert!(Scale::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn fig2_matches_paper() {
+        let rows = fig2();
+        let get = |n: &str| rows.iter().find(|r| r.0 == n).unwrap();
+        assert!((get("Optimal").1 - 2.0).abs() < 1e-5);
+        assert!((get("FFC-3").1 - 1.5).abs() < 1e-5);
+        assert!((get("FFC-4").1 - 1.0).abs() < 1e-5);
+        assert!((get("FFC-4").2 - 0.0).abs() < 1e-6);
     }
 }

@@ -78,8 +78,11 @@ mod tests {
 
     #[test]
     fn parses_command_and_flags() {
-        let a = Args::parse(&sv(&["solve", "--topology", "Sprint", "--f", "2"]), &["topology", "f"])
-            .unwrap();
+        let a = Args::parse(
+            &sv(&["solve", "--topology", "Sprint", "--f", "2"]),
+            &["topology", "f"],
+        )
+        .unwrap();
         assert_eq!(a.command, "solve");
         assert_eq!(a.get("topology"), Some("Sprint"));
         assert_eq!(a.get_or("f", 1usize).unwrap(), 2);

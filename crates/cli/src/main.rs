@@ -19,14 +19,22 @@ use args::{ArgError, Args};
 use pcf_core::validate::validate_all;
 use pcf_core::{
     augment_capacity, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
-    solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions,
-    RobustSolution,
+    solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions, RobustSolution,
 };
 use pcf_topology::Topology;
 use pcf_traffic::{gravity, TrafficMatrix};
 
 const FLAGS: &[&str] = &[
-    "topology", "gml", "scheme", "f", "tunnels", "seed", "mlu", "target", "max-pairs",
+    "topology",
+    "gml",
+    "scheme",
+    "f",
+    "tunnels",
+    "seed",
+    "mlu",
+    "target",
+    "max-pairs",
+    "threads",
 ];
 
 fn main() {
@@ -65,6 +73,8 @@ fn usage() {
          \x20 --seed <n>          gravity traffic seed                   (default 1)\n\
          \x20 --mlu <x>           optimal-routing MLU target             (default 0.6)\n\
          \x20 --max-pairs <n>     keep only the n heaviest demands       (default 200)\n\
+         \x20 --threads <n>       separation worker threads; 0 = all available cores\n\
+         \x20                     (default 0)\n\
          \x20 --target <z>        (augment) demand scale to guarantee"
     );
 }
@@ -122,7 +132,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 &FailureModel::links(f),
                 target,
                 |_| 1.0,
-                &RobustOptions::default(),
+                &robust_options(&args)?,
             )
             .ok_or(ArgError("augmentation did not converge".into()))?;
             println!(
@@ -176,6 +186,15 @@ fn load_topology(args: &Args) -> Result<Topology, Box<dyn std::error::Error>> {
     }
 }
 
+/// Robust-engine options from the command line: `--threads 0` (the
+/// default) lets the engine use every available core for separation.
+fn robust_options(args: &Args) -> Result<RobustOptions, ArgError> {
+    Ok(RobustOptions {
+        threads: args.get_or("threads", 0usize)?,
+        ..RobustOptions::default()
+    })
+}
+
 fn load_traffic(args: &Args, topo: &Topology) -> Result<TrafficMatrix, Box<dyn std::error::Error>> {
     let seed = args.get_or("seed", 1u64)?;
     let mlu = args.get_or("mlu", 0.6f64)?;
@@ -194,7 +213,7 @@ fn solve(
     let scheme = args.get("scheme").unwrap_or("pcf-ls").to_string();
     let tm = load_traffic(args, topo)?;
     let fm = FailureModel::links(f);
-    let opts = RobustOptions::default();
+    let opts = robust_options(args)?;
     let (inst, sol) = match scheme.as_str() {
         "ffc" => {
             let inst = tunnel_instance(topo, &tm, k);
@@ -251,7 +270,10 @@ fn report(topo: &Topology, inst: &Instance, sol: &RobustSolution, scheme: &str) 
         sol.cuts
     );
     if sol.objective > 1e-9 {
-        println!("  max link utilization at guarantee: {:.4}", 1.0 / sol.objective);
+        println!(
+            "  max link utilization at guarantee: {:.4}",
+            1.0 / sol.objective
+        );
     } else {
         println!("  no traffic can be guaranteed under this failure budget");
     }

@@ -42,12 +42,7 @@ pub struct WorstCase {
 /// # Panics
 /// Panics if the instance contains logical sequences — FFC is a pure tunnel
 /// scheme.
-pub fn worst_case_ffc(
-    inst: &Instance,
-    p: PairId,
-    fm: &FailureModel,
-    a: &[f64],
-) -> WorstCase {
+pub fn worst_case_ffc(inst: &Instance, p: PairId, fm: &FailureModel, a: &[f64]) -> WorstCase {
     assert_eq!(inst.num_lss(), 0, "FFC does not support logical sequences");
     let tunnels = inst.tunnels_of(p);
     let p_st = inst.p_st(p);
@@ -283,6 +278,84 @@ pub fn worst_case_link_with_extras(
     )
 }
 
+/// Exact (integral) worst case over an explicit scenario list: evaluate the
+/// availability under every enumerated scenario — plus the implied
+/// no-failure scenario — and return the minimum. No relaxation is involved,
+/// so allocations designed this way are exactly as resilient as the list
+/// demands.
+/// Best scenario found so far: `(available, y, h over L(p), h over Q(p), x)`.
+type ExplicitBest = (f64, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+fn worst_case_explicit(
+    inst: &Instance,
+    p: PairId,
+    fm: &FailureModel,
+    a: &[f64],
+    b: &[f64],
+    extras: &[ExtraTerm],
+) -> (WorstCase, Vec<f64>) {
+    let topo = inst.topo();
+    let tunnels = inst.tunnels_of(p);
+    let ls_l = inst.lss_of(p);
+    let ls_q = inst.segments_of(p);
+    let mut masks = fm.enumerate_scenarios(topo);
+    masks.push(vec![false; topo.link_count()]); // the no-failure scenario
+
+    let mut best: Option<ExplicitBest> = None;
+    for mask in &masks {
+        let y: Vec<f64> = tunnels
+            .iter()
+            .map(|&l| {
+                let dead = inst.tunnel(l).links.iter().any(|e| mask[e.index()]);
+                if dead {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let hv = |q: &crate::instance::LsId| -> f64 {
+            if inst.ls(*q).condition.holds(mask) {
+                1.0
+            } else {
+                0.0
+            }
+        };
+        let h_l: Vec<f64> = ls_l.iter().map(&hv).collect();
+        let h_q: Vec<f64> = ls_q.iter().map(hv).collect();
+        let h_extra: Vec<f64> = extras
+            .iter()
+            .map(|t| if t.condition.holds(mask) { 1.0 } else { 0.0 })
+            .collect();
+        let mut avail = 0.0;
+        for (i, &l) in tunnels.iter().enumerate() {
+            avail += a[l.0] * (1.0 - y[i]);
+        }
+        for (i, &q) in ls_l.iter().enumerate() {
+            avail += b[q.0] * h_l[i];
+        }
+        for (i, &q) in ls_q.iter().enumerate() {
+            avail -= b[q.0] * h_q[i];
+        }
+        for (t, h) in extras.iter().zip(&h_extra) {
+            avail -= t.coef * h;
+        }
+        if best.as_ref().is_none_or(|(v, ..)| avail < *v) {
+            best = Some((avail, y, h_l, h_q, h_extra));
+        }
+    }
+    let (available, y, h_l, h_q, h_extra) = best.expect("at least the no-failure scenario");
+    (
+        WorstCase {
+            available,
+            y,
+            h_l,
+            h_q,
+        },
+        h_extra,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,7 +432,11 @@ mod tests {
         // LS s -> a -> t, always active.
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
             .tunnels_per_pair(2)
-            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(1), NodeId(3)]))
+            .add_ls(LogicalSequence::always(vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(3),
+            ]))
             .build();
         let p = inst.pair_id(NodeId(0), NodeId(3)).unwrap();
         let a = vec![0.0; inst.num_tunnels()];
@@ -405,7 +482,11 @@ mod tests {
         // LS s->a->t: segment (s,a) carries the LS reservation.
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
             .tunnels_per_pair(2)
-            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(1), NodeId(3)]))
+            .add_ls(LogicalSequence::always(vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(3),
+            ]))
             .build();
         let p_sa = inst.pair_id(NodeId(0), NodeId(1)).unwrap();
         // Segment pair (s,a): tunnels reserve 1.0 total, must carry b = 0.3.
@@ -438,79 +519,4 @@ mod tests {
         let wc = worst_case_link(&inst, p, &fm, &a, &[]);
         assert!(wc.available.abs() < 1e-6, "got {}", wc.available);
     }
-}
-
-/// Exact (integral) worst case over an explicit scenario list: evaluate the
-/// availability under every enumerated scenario — plus the implied
-/// no-failure scenario — and return the minimum. No relaxation is involved,
-/// so allocations designed this way are exactly as resilient as the list
-/// demands.
-fn worst_case_explicit(
-    inst: &Instance,
-    p: PairId,
-    fm: &FailureModel,
-    a: &[f64],
-    b: &[f64],
-    extras: &[ExtraTerm],
-) -> (WorstCase, Vec<f64>) {
-    let topo = inst.topo();
-    let tunnels = inst.tunnels_of(p);
-    let ls_l = inst.lss_of(p);
-    let ls_q = inst.segments_of(p);
-    let mut masks = fm.enumerate_scenarios(topo);
-    masks.push(vec![false; topo.link_count()]); // the no-failure scenario
-
-    let mut best: Option<(f64, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> = None;
-    for mask in &masks {
-        let y: Vec<f64> = tunnels
-            .iter()
-            .map(|&l| {
-                let dead = inst.tunnel(l).links.iter().any(|e| mask[e.index()]);
-                if dead {
-                    1.0
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let hv = |q: &crate::instance::LsId| -> f64 {
-            if inst.ls(*q).condition.holds(mask) {
-                1.0
-            } else {
-                0.0
-            }
-        };
-        let h_l: Vec<f64> = ls_l.iter().map(|q| hv(q)).collect();
-        let h_q: Vec<f64> = ls_q.iter().map(|q| hv(q)).collect();
-        let h_extra: Vec<f64> = extras
-            .iter()
-            .map(|t| if t.condition.holds(mask) { 1.0 } else { 0.0 })
-            .collect();
-        let mut avail = 0.0;
-        for (i, &l) in tunnels.iter().enumerate() {
-            avail += a[l.0] * (1.0 - y[i]);
-        }
-        for (i, &q) in ls_l.iter().enumerate() {
-            avail += b[q.0] * h_l[i];
-        }
-        for (i, &q) in ls_q.iter().enumerate() {
-            avail -= b[q.0] * h_q[i];
-        }
-        for (t, h) in extras.iter().zip(&h_extra) {
-            avail -= t.coef * h;
-        }
-        if best.as_ref().map_or(true, |(v, ..)| avail < *v) {
-            best = Some((avail, y, h_l, h_q, h_extra));
-        }
-    }
-    let (available, y, h_l, h_q, h_extra) = best.expect("at least the no-failure scenario");
-    (
-        WorstCase {
-            available,
-            y,
-            h_l,
-            h_q,
-        },
-        h_extra,
-    )
 }

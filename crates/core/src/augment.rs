@@ -259,7 +259,11 @@ mod tests {
             &RobustOptions::default(),
         )
         .unwrap();
-        assert!(aug.extra[0] < 1e-6 && aug.extra[1] < 1e-6, "{:?}", aug.extra);
+        assert!(
+            aug.extra[0] < 1e-6 && aug.extra[1] < 1e-6,
+            "{:?}",
+            aug.extra
+        );
         assert!((aug.extra[2] - 1.0).abs() < 1e-5 && (aug.extra[3] - 1.0).abs() < 1e-5);
     }
 }

@@ -172,7 +172,12 @@ pub fn solve_pcf_tf_dual(
         lp.add_ge(row, 0.0);
     }
     let sol = lp.solve().expect("dual PCF-TF LP is structurally valid");
-    assert_eq!(sol.status, Status::Optimal, "dual PCF-TF LP: {}", sol.status);
+    assert_eq!(
+        sol.status,
+        Status::Optimal,
+        "dual PCF-TF LP: {}",
+        sol.status
+    );
     sol.objective
 }
 
@@ -229,9 +234,15 @@ mod tests {
         let fm = FailureModel::links(1);
         let dual = solve_pcf_tf_dual(&inst, &fm, Objective::DemandScale, &Default::default());
         let cut = cp(&inst, &fm, AdversaryKind::LinkBased);
-        assert!((dual - cut).abs() < 1e-4 * (1.0 + cut), "dual {dual} vs cuts {cut}");
+        assert!(
+            (dual - cut).abs() < 1e-4 * (1.0 + cut),
+            "dual {dual} vs cuts {cut}"
+        );
         let fdual = solve_ffc_dual(&inst, &fm, Objective::DemandScale, &Default::default());
         let fcut = cp(&inst, &fm, AdversaryKind::FfcTunnelCount);
-        assert!((fdual - fcut).abs() < 1e-4 * (1.0 + fcut), "dual {fdual} vs cuts {fcut}");
+        assert!(
+            (fdual - fcut).abs() < 1e-4 * (1.0 + fcut),
+            "dual {fdual} vs cuts {fcut}"
+        );
     }
 }

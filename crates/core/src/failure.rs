@@ -118,10 +118,10 @@ impl FailureModel {
             out.push(set.iter().map(|&i| LinkId(ratio[i].0 as u32)).collect());
             // Extend with strictly larger-indexed links to avoid duplicates.
             let last = *set.last().expect("non-empty set");
-            for next in (last + 1)..ratio.len() {
+            for (next, &(_, r)) in ratio.iter().enumerate().skip(last + 1) {
                 let mut bigger = set.clone();
                 bigger.push(next);
-                heap.push((Prob(p * ratio[next].1), bigger));
+                heap.push((Prob(p * r), bigger));
             }
         }
         FailureModel::Explicit { scenarios: out }
@@ -224,7 +224,9 @@ impl FailureModel {
         let f = self.budget().min(groups.len());
         let n = groups.len();
         // Simple deterministic LCG to avoid threading RNG deps here.
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move || {
             state = state
                 .wrapping_mul(6364136223846793005)

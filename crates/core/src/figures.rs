@@ -42,7 +42,14 @@ pub fn fig1_topology() -> (Topology, Fig1) {
     topo.add_link(r3, t, 1.0);
     topo.add_link(s, r4, 0.5);
     topo.add_link(r4, r3, 0.5);
-    (topo, Fig1 { s, r: [r1, r2, r3, r4], t })
+    (
+        topo,
+        Fig1 {
+            s,
+            r: [r1, r2, r3, r4],
+            t,
+        },
+    )
 }
 
 /// Builds a [`Path`] through the listed nodes, resolving each hop to the
@@ -302,7 +309,7 @@ mod tests {
         let tunnels = fig1_tunnels(&topo, ids);
         assert_eq!(tunnels[0].len(), 2);
         assert_eq!(tunnels[2].len(), 3); // s-4-3-t
-        // l3 and l4 share link 3-t.
+                                         // l3 and l4 share link 3-t.
         assert_eq!(tunnels[2].shared_links(&tunnels[3]), 1);
         // l1, l2, l3 are pairwise disjoint (FFC-3 has p_st = 1).
         assert_eq!(tunnels[0].shared_links(&tunnels[1]), 0);
@@ -398,8 +405,7 @@ pub fn fig6_instance() -> (Instance, Fig6) {
     topo.add_link(a, d, 1.0); // l3
     topo.add_link(d, b, 1.0); // l4
     topo.add_link(a, b, 1.0); // l5
-    let mut builder =
-        InstanceBuilder::with_demands(&topo, vec![(a, b, 1.0)]).no_auto_tunnels();
+    let mut builder = InstanceBuilder::with_demands(&topo, vec![(a, b, 1.0)]).no_auto_tunnels();
     for (u, v) in [(a, c), (c, d), (a, d), (d, b), (a, b)] {
         builder = builder.add_tunnel(path_through(&topo, &[u, v]));
     }

@@ -210,11 +210,7 @@ impl InstanceBuilder {
         );
         InstanceBuilder {
             topo: topo.clone(),
-            demands: tm
-                .positive_pairs()
-                .into_iter()
-                .map(|(s, t, d)| (s, t, d))
-                .collect(),
+            demands: tm.positive_pairs().into_iter().collect(),
             tunnels_per_pair: 3,
             auto_tunnels: true,
             explicit_tunnels: Vec::new(),
@@ -227,7 +223,10 @@ impl InstanceBuilder {
     /// single-pair examples).
     pub fn with_demands(topo: &Topology, demands: Vec<(NodeId, NodeId, f64)>) -> Self {
         for &(s, t, d) in &demands {
-            assert!(s != t && d > 0.0, "demands must be off-diagonal and positive");
+            assert!(
+                s != t && d > 0.0,
+                "demands must be off-diagonal and positive"
+            );
         }
         InstanceBuilder {
             topo: topo.clone(),
@@ -288,9 +287,11 @@ impl InstanceBuilder {
         let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
         let mut pair_index: HashMap<(NodeId, NodeId), PairId> = HashMap::new();
         let mut demand: Vec<f64> = Vec::new();
-        let intern = |s: NodeId, t: NodeId, pairs: &mut Vec<(NodeId, NodeId)>,
-                          demand: &mut Vec<f64>,
-                          pair_index: &mut HashMap<(NodeId, NodeId), PairId>|
+        let intern = |s: NodeId,
+                      t: NodeId,
+                      pairs: &mut Vec<(NodeId, NodeId)>,
+                      demand: &mut Vec<f64>,
+                      pair_index: &mut HashMap<(NodeId, NodeId), PairId>|
          -> PairId {
             *pair_index.entry((s, t)).or_insert_with(|| {
                 pairs.push((s, t));
@@ -489,7 +490,9 @@ mod builder_tests {
             .add_pair(NodeId(2), NodeId(7))
             .tunnels_per_pair(2)
             .build();
-        let p = inst.pair_id(NodeId(2), NodeId(7)).expect("extra pair interned");
+        let p = inst
+            .pair_id(NodeId(2), NodeId(7))
+            .expect("extra pair interned");
         assert_eq!(inst.demand(p), 0.0);
         assert_eq!(inst.tunnels_of(p).len(), 2);
     }

@@ -24,12 +24,23 @@ pub mod validate;
 pub use augment::{augment_capacity, Augmentation};
 pub use failure::{Condition, FailureModel};
 pub use instance::{Instance, InstanceBuilder, LogicalSequence, LsId, PairId, TunnelId};
-pub use logical_flow::{bypass_flows, decompose_flows, pcf_cls_pipeline, solve_logical_flow, ClsResult, FlowSolution, FlowSpec};
+pub use logical_flow::{
+    bypass_flows, decompose_flows, pcf_cls_pipeline, solve_logical_flow, ClsResult, FlowSolution,
+    FlowSpec,
+};
 pub use objective::Objective;
+pub use optimal::{
+    max_concurrent_flow, max_throughput, optimal_demand_scale, optimal_throughput, McfResult,
+    ScenarioCoverage,
+};
 pub use r3::{solve_generalized_r3, solve_r3, R3Solution};
-pub use scale::scale_to_mlu;
-pub use realize::{greedy_topsort, proportional_routing, realize_routing, reservation_matrix, topological_order, FailureState, Routing};
-pub use optimal::{max_concurrent_flow, max_throughput, optimal_demand_scale, optimal_throughput, McfResult, ScenarioCoverage};
+pub use realize::{
+    greedy_topsort, proportional_routing, realize_routing, reservation_matrix, topological_order,
+    FailureState, Routing,
+};
 pub use robust::{solve_robust, AdversaryKind, RobustOptions, RobustSolution};
-pub use schemes::{pcf_ls_instance, solve_ffc, solve_pcf_cls, solve_pcf_ls, solve_pcf_tf, tunnel_instance};
+pub use scale::scale_to_mlu;
+pub use schemes::{
+    pcf_ls_instance, solve_ffc, solve_pcf_cls, solve_pcf_ls, solve_pcf_tf, tunnel_instance,
+};
 pub use validate::{validate_all, validate_scenarios, ValidationReport};

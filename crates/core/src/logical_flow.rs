@@ -97,13 +97,9 @@ fn bypass_support(
     let mut penalty: Vec<f64> = vec![1.0; topo.link_count()];
     let mut segments: Vec<(NodeId, NodeId)> = Vec::new();
     for _ in 0..paths {
-        let Some(path) = pcf_paths::shortest_path_weighted(
-            topo,
-            src,
-            dst,
-            |l| penalty[l.index()],
-            Some(&dead),
-        ) else {
+        let Some(path) =
+            pcf_paths::shortest_path_weighted(topo, src, dst, |l| penalty[l.index()], Some(&dead))
+        else {
             break;
         };
         for (hop, &l) in path.links.iter().enumerate() {
@@ -466,7 +462,8 @@ pub fn decompose_flows(
             .filter(|&(si, _)| sol.flow_p[w][si] > min_reservation)
             .map(|(si, &(u, v))| (u.index(), v.index(), sol.flow_p[w][si]))
             .collect();
-        let Some((nodes, _)) = pcf_paths::widest_path(n, &edges, spec.src.index(), spec.dst.index())
+        let Some((nodes, _)) =
+            pcf_paths::widest_path(n, &edges, spec.src.index(), spec.dst.index())
         else {
             continue;
         };
@@ -668,7 +665,12 @@ mod flow_model_tests {
             }
         }
         let inst = b.build();
-        let sol = solve_logical_flow(&inst, &flows, &FailureModel::links(0), &RobustOptions::default());
+        let sol = solve_logical_flow(
+            &inst,
+            &flows,
+            &FailureModel::links(0),
+            &RobustOptions::default(),
+        );
         // Net outflow at the source equals b_w.
         let mut net = 0.0;
         for (si, &(u, v)) in flows[0].support.iter().enumerate() {
@@ -703,10 +705,18 @@ mod flow_model_tests {
             }
         }
         let inst = b.build();
-        let with_flows =
-            solve_logical_flow(&inst, &flows, &FailureModel::links(1), &RobustOptions::default());
-        let without =
-            solve_logical_flow(&inst, &[], &FailureModel::links(1), &RobustOptions::default());
+        let with_flows = solve_logical_flow(
+            &inst,
+            &flows,
+            &FailureModel::links(1),
+            &RobustOptions::default(),
+        );
+        let without = solve_logical_flow(
+            &inst,
+            &[],
+            &FailureModel::links(1),
+            &RobustOptions::default(),
+        );
         assert!(
             with_flows.objective > without.objective + 0.3,
             "bypass {} vs none {}",
@@ -742,7 +752,10 @@ mod flow_model_tests {
         let lss = decompose_flows(&topo, &flows, &sol, 1e-7);
         assert_eq!(lss.len(), 1);
         assert_eq!(lss[0].hops, vec![NodeId(0), NodeId(2), NodeId(3)]);
-        assert_eq!(lss[0].condition, Condition::LinkDead(pcf_topology::LinkId(0)));
+        assert_eq!(
+            lss[0].condition,
+            Condition::LinkDead(pcf_topology::LinkId(0))
+        );
     }
 
     #[test]

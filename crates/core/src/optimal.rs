@@ -52,11 +52,7 @@ fn active_destinations(topo: &Topology, tm: &TrafficMatrix) -> Vec<NodeId> {
 /// Returns `(lp, flow_vars)` where `flow_vars[k][arc]` is the flow toward
 /// destination `dests[k]` on each directed arc; callers add the balance rows
 /// because the right-hand side depends on the objective.
-fn flow_skeleton(
-    topo: &Topology,
-    dests: &[NodeId],
-    dead: &[bool],
-) -> (LpProblem, Vec<Vec<VarId>>) {
+fn flow_skeleton(topo: &Topology, dests: &[NodeId], dead: &[bool]) -> (LpProblem, Vec<Vec<VarId>>) {
     let mut lp = LpProblem::new(Sense::Maximize);
     let mut flows: Vec<Vec<VarId>> = Vec::with_capacity(dests.len());
     for _ in dests {
@@ -105,10 +101,11 @@ pub fn max_concurrent_flow(
     // so z is bounded by capacity whenever connected).
     for &t in &dests {
         for s in topo.nodes() {
-            if s != t && tm.demand(s, t) > 0.0 {
-                if pcf_paths::shortest_path_weighted(topo, s, t, |_| 1.0, Some(dead)).is_none() {
-                    return McfResult::Disconnected;
-                }
+            if s != t
+                && tm.demand(s, t) > 0.0
+                && pcf_paths::shortest_path_weighted(topo, s, t, |_| 1.0, Some(dead)).is_none()
+            {
+                return McfResult::Disconnected;
             }
         }
     }
@@ -290,7 +287,10 @@ mod tests {
     fn disconnection_detected() {
         let (t, tm) = diamond();
         let dead = vec![true, false, true, false];
-        assert_eq!(max_concurrent_flow(&t, &tm, Some(&dead)), McfResult::Disconnected);
+        assert_eq!(
+            max_concurrent_flow(&t, &tm, Some(&dead)),
+            McfResult::Disconnected
+        );
     }
 
     #[test]

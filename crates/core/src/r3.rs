@@ -160,10 +160,8 @@ pub fn solve_r3(topo: &Topology, tm: &TrafficMatrix, f: usize) -> R3Solution {
         // flows may still traverse them, so their envelope row is needed
         // too.
         let lam = lp.add_nonneg(0.0);
-        let mut cap_row: Vec<(VarId, f64)> = r_vars
-            .iter()
-            .map(|rv| (rv[beta.index()], 1.0))
-            .collect();
+        let mut cap_row: Vec<(VarId, f64)> =
+            r_vars.iter().map(|rv| (rv[beta.index()], 1.0)).collect();
         cap_row.push((lam, f as f64));
         for e in topo.links() {
             let ce = topo.capacity(e);

@@ -50,7 +50,11 @@ impl FailureState {
     }
 
     /// Live tunnels of a pair.
-    pub fn live_tunnels<'a>(&'a self, inst: &'a Instance, p: PairId) -> impl Iterator<Item = TunnelId> + 'a {
+    pub fn live_tunnels<'a>(
+        &'a self,
+        inst: &'a Instance,
+        p: PairId,
+    ) -> impl Iterator<Item = TunnelId> + 'a {
         inst.tunnels_of(p)
             .iter()
             .copied()
@@ -58,7 +62,11 @@ impl FailureState {
     }
 
     /// Active LSs of `L(p)`.
-    pub fn active_lss<'a>(&'a self, inst: &'a Instance, p: PairId) -> impl Iterator<Item = LsId> + 'a {
+    pub fn active_lss<'a>(
+        &'a self,
+        inst: &'a Instance,
+        p: PairId,
+    ) -> impl Iterator<Item = LsId> + 'a {
         inst.lss_of(p)
             .iter()
             .copied()
@@ -212,7 +220,13 @@ impl Routing {
 }
 
 /// Expands per-pair utilizations into tunnel flows and arc loads.
-fn expand_loads(inst: &Instance, state: &FailureState, a: &[f64], pairs: &[PairId], u: &[f64]) -> Routing {
+fn expand_loads(
+    inst: &Instance,
+    state: &FailureState,
+    a: &[f64],
+    pairs: &[PairId],
+    u: &[f64],
+) -> Routing {
     let topo = inst.topo();
     let mut tunnel_flow = vec![0.0; inst.num_tunnels()];
     let mut arc_loads = vec![0.0; topo.arc_count()];
@@ -541,7 +555,12 @@ mod tests {
         // Fig. 4-like chain with an LS; verify both realizations agree.
         let inst = crate::figures::fig4_ls_instance(3, 2, 3);
         let fm = FailureModel::links(1);
-        let sol = solve_robust(&inst, &fm, AdversaryKind::LinkBased, &RobustOptions::default());
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
         assert!(sol.objective > 0.5);
         let sv = served(&inst, &sol);
         for mask in fm.enumerate_scenarios(inst.topo()) {
@@ -564,8 +583,16 @@ mod tests {
         // (s,a) via t -> (s,t) > (s,a) and (s,a) > (s,t)? Build LS1 from s
         // to t through a; LS2 from s to a through t.
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
-            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(1), NodeId(3)]))
-            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(3), NodeId(1)]))
+            .add_ls(LogicalSequence::always(vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(3),
+            ]))
+            .add_ls(LogicalSequence::always(vec![
+                NodeId(0),
+                NodeId(3),
+                NodeId(1),
+            ]))
             .build();
         // LS1: (s,t) -> (s,a), (a,t). LS2: (s,a) -> (s,t), (t,a). Cycle
         // (s,t) -> (s,a) -> (s,t).
@@ -603,7 +630,7 @@ mod tests {
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
             .add_ls(ls)
             .build();
-        let no_fail = FailureState::new(&inst, &vec![false; 4]);
+        let no_fail = FailureState::new(&inst, &[false; 4]);
         assert!(!no_fail.ls_active[0]);
         let mut dead = vec![false; 4];
         dead[0] = true;
@@ -618,7 +645,7 @@ mod tests {
             .tunnels_per_pair(2)
             .build();
         // No reservations at all but positive served demand.
-        let state = FailureState::new(&inst, &vec![false; 4]);
+        let state = FailureState::new(&inst, &[false; 4]);
         let a = vec![0.0; inst.num_tunnels()];
         let err = realize_routing(&inst, &state, &a, &[], &[1.0], 1e-7).unwrap_err();
         assert!(matches!(err, RealizeError::NoReservation(_)));
@@ -641,10 +668,7 @@ mod fig6_tests {
         let a = vec![1.0; inst.num_tunnels()];
         let b = vec![1.0; inst.num_lss()];
         // Pairs of interest: AB (demand) plus the LS segments AC, CD, AD, DB.
-        let served: Vec<f64> = inst
-            .pair_ids()
-            .map(|p| inst.demand(p))
-            .collect();
+        let served: Vec<f64> = inst.pair_ids().map(|p| inst.demand(p)).collect();
         let pairs = pairs_of_interest(&inst, &state, &served, &b, 1e-9);
         assert_eq!(pairs.len(), 5);
         let m = reservation_matrix(&inst, &state, &a, &b, &pairs);
@@ -659,8 +683,8 @@ mod fig6_tests {
         assert_eq!(m.get(idx(na, nd), idx(na, nd)), 2.0); // a_l3 + b_q1
         assert_eq!(m.get(idx(nd, nb), idx(nd, nb)), 1.0);
         assert_eq!(m.get(idx(na, nb), idx(na, nb)), 2.0); // a_l5 + b_q2
-        // Fig. 7 off-diagonals: −b_q1 in rows AC, CD (column AD); −b_q2 in
-        // rows AD, DB (column AB).
+                                                          // Fig. 7 off-diagonals: −b_q1 in rows AC, CD (column AD); −b_q2 in
+                                                          // rows AD, DB (column AB).
         assert_eq!(m.get(idx(na, nc), idx(na, nd)), -1.0);
         assert_eq!(m.get(idx(nc, nd), idx(na, nd)), -1.0);
         assert_eq!(m.get(idx(na, nd), idx(na, nb)), -1.0);

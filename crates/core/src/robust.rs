@@ -14,12 +14,20 @@
 //! Both approaches optimize over the same relaxed failure polytope, so the
 //! cutting-plane optimum equals the dualized optimum (cross-checked in
 //! tests against [`crate::dualized`]).
+//!
+//! The engine keeps **one master LP alive** across rounds: new scenario cuts
+//! are appended to the solved [`pcf_lp::IncrementalLp`], which re-solves
+//! warm-starting from the previous optimal basis instead of re-running
+//! phase 1 from scratch (disable with [`RobustOptions::warm_start`]).
+//! Separation — the per-pair worst-case oracles — runs on
+//! [`RobustOptions::threads`] scoped worker threads; the oracles are pure
+//! functions of the shared reservations, so pairs partition cleanly.
 
 use crate::adversary::{worst_case_ffc, worst_case_link, WorstCase};
 use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, PairId};
 use crate::objective::Objective;
-use pcf_lp::{LpProblem, Sense, SimplexOptions, Status, VarId};
+use pcf_lp::{IncrementalLp, LpProblem, Sense, SimplexOptions, Status, VarId};
 
 /// Which failure-set model the scheme plans against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +50,13 @@ pub struct RobustOptions {
     pub tol: f64,
     /// Simplex settings for the master problem.
     pub lp: SimplexOptions,
+    /// Worker threads for the separation oracles. `0` means "use
+    /// [`std::thread::available_parallelism`]"; `1` runs separation inline.
+    pub threads: usize,
+    /// Keep the master LP alive across rounds and warm-start appended cuts
+    /// from the previous basis. `false` rebuilds the master from scratch
+    /// every round (the pre-incremental behaviour, kept as a baseline).
+    pub warm_start: bool,
 }
 
 impl Default for RobustOptions {
@@ -51,6 +66,21 @@ impl Default for RobustOptions {
             max_rounds: 200,
             tol: 1e-6,
             lp: SimplexOptions::default(),
+            threads: 0,
+            warm_start: true,
+        }
+    }
+}
+
+impl RobustOptions {
+    /// `threads` with the `0 = available parallelism` default applied.
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -70,6 +100,9 @@ pub struct RobustSolution {
     pub rounds: usize,
     /// Total scenario cuts generated.
     pub cuts: usize,
+    /// Master re-solves answered by warm-starting the retained basis
+    /// (always 0 when [`RobustOptions::warm_start`] is off).
+    pub warm_rounds: usize,
 }
 
 /// One generated scenario cut for a pair: the fractional failure levels to
@@ -140,10 +173,26 @@ pub fn solve_robust(
         })
         .collect();
 
+    let mut master = Master::new(inst, opts);
+    for cut in &cuts {
+        master.append_cut(inst, cut);
+    }
+
     let mut rounds = 0usize;
+    let mut warm_rounds = 0usize;
     loop {
         rounds += 1;
-        let (a, b, z, objective) = solve_master(inst, &cuts, opts);
+        if !opts.warm_start && rounds > 1 {
+            // Baseline mode: forget the basis and rebuild the whole master.
+            master = Master::new(inst, opts);
+            for cut in &cuts {
+                master.append_cut(inst, cut);
+            }
+        }
+        let (a, b, z, objective, was_warm) = master.solve(inst);
+        if was_warm {
+            warm_rounds += 1;
+        }
 
         if rounds > opts.max_rounds {
             return RobustSolution {
@@ -153,20 +202,21 @@ pub fn solve_robust(
                 b,
                 rounds: rounds - 1,
                 cuts: cuts.len(),
+                warm_rounds,
             };
         }
 
-        // Separation.
+        // Separation: every pair's oracle is independent, so fan the pairs
+        // out over worker threads.
+        let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads());
         let scale = 1.0 + inst.total_demand();
         let mut violated = 0usize;
-        for p in inst.pair_ids() {
-            let wc = match kind {
-                AdversaryKind::FfcTunnelCount => worst_case_ffc(inst, p, fm, &a),
-                AdversaryKind::LinkBased => worst_case_link(inst, p, fm, &a, &b),
-            };
+        for (p, wc) in inst.pair_ids().zip(wcs) {
             let required = z[p.0] * inst.demand(p);
             if wc.available < required - opts.tol * scale {
-                cuts.push(Cut { pair: p, wc });
+                let cut = Cut { pair: p, wc };
+                master.append_cut(inst, &cut);
+                cuts.push(cut);
                 violated += 1;
             }
         }
@@ -178,110 +228,173 @@ pub fn solve_robust(
                 b,
                 rounds,
                 cuts: cuts.len(),
+                warm_rounds,
             };
         }
     }
 }
 
-/// Builds and solves the master LP for the current cut set. Returns
-/// `(a, b, z_per_pair, objective)`.
-fn solve_master(
+/// Runs the worst-case oracle for every pair, chunked over `threads` scoped
+/// worker threads. Each worker writes into its own disjoint slice of the
+/// result vector, so no synchronization is needed beyond the scope join.
+fn separate(
     inst: &Instance,
-    cuts: &[Cut],
-    opts: &RobustOptions,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64) {
-    let topo = inst.topo();
-    let mut lp = LpProblem::new(Sense::Maximize);
-    lp.set_options(opts.lp.clone());
-
-    let a_vars: Vec<VarId> = inst.tunnel_ids().map(|_| lp.add_nonneg(0.0)).collect();
-    let b_vars: Vec<VarId> = inst.ls_ids().map(|_| lp.add_nonneg(0.0)).collect();
-
-    // Objective variables.
-    enum ZVars {
-        Shared(VarId),
-        PerPair(Vec<Option<VarId>>),
-    }
-    let z_vars = match opts.objective {
-        Objective::DemandScale => ZVars::Shared(lp.add_nonneg(1.0)),
-        Objective::Throughput => ZVars::PerPair(
-            inst.pair_ids()
-                .map(|p| {
-                    let d = inst.demand(p);
-                    (d > 0.0).then(|| lp.add_var(0.0, 1.0, d))
-                })
-                .collect(),
-        ),
+    fm: &FailureModel,
+    kind: AdversaryKind,
+    a: &[f64],
+    b: &[f64],
+    threads: usize,
+) -> Vec<WorstCase> {
+    let pairs: Vec<PairId> = inst.pair_ids().collect();
+    let oracle = |p: PairId| match kind {
+        AdversaryKind::FfcTunnelCount => worst_case_ffc(inst, p, fm, a),
+        AdversaryKind::LinkBased => worst_case_link(inst, p, fm, a, b),
     };
-    let z_var_of = |p: PairId| -> Option<VarId> {
-        match &z_vars {
+    let nt = threads.max(1).min(pairs.len().max(1));
+    if nt <= 1 {
+        return pairs.into_iter().map(oracle).collect();
+    }
+    let mut out: Vec<Option<WorstCase>> = Vec::new();
+    out.resize_with(pairs.len(), || None);
+    let chunk = pairs.len().div_ceil(nt);
+    let oracle = &oracle;
+    std::thread::scope(|s| {
+        for (ps, slots) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (slot, &p) in slots.iter_mut().zip(ps) {
+                    *slot = Some(oracle(p));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every pair separated"))
+        .collect()
+}
+
+/// Objective variables of the master.
+enum ZVars {
+    Shared(VarId),
+    PerPair(Vec<Option<VarId>>),
+}
+
+/// The live master LP. Variables and capacity rows are created once; each
+/// cutting-plane round only appends scenario cut rows, so every re-solve
+/// after the first warm-starts from the previous optimal basis.
+struct Master {
+    lp: IncrementalLp,
+    a_vars: Vec<VarId>,
+    b_vars: Vec<VarId>,
+    z_vars: ZVars,
+}
+
+impl Master {
+    /// Builds the cut-free master: reservation variables, objective
+    /// variables, and the per-arc capacity constraints (Eq. 3, full
+    /// duplex).
+    fn new(inst: &Instance, opts: &RobustOptions) -> Master {
+        let topo = inst.topo();
+        let mut lp = LpProblem::new(Sense::Maximize);
+        lp.set_options(opts.lp.clone());
+
+        let a_vars: Vec<VarId> = inst.tunnel_ids().map(|_| lp.add_nonneg(0.0)).collect();
+        let b_vars: Vec<VarId> = inst.ls_ids().map(|_| lp.add_nonneg(0.0)).collect();
+
+        let z_vars = match opts.objective {
+            Objective::DemandScale => ZVars::Shared(lp.add_nonneg(1.0)),
+            Objective::Throughput => ZVars::PerPair(
+                inst.pair_ids()
+                    .map(|p| {
+                        let d = inst.demand(p);
+                        (d > 0.0).then(|| lp.add_var(0.0, 1.0, d))
+                    })
+                    .collect(),
+            ),
+        };
+
+        let mut arc_usage: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); topo.arc_count()];
+        for l in inst.tunnel_ids() {
+            let path = inst.tunnel(l);
+            for (i, &link) in path.links.iter().enumerate() {
+                let arc = topo.arc_from(link, path.nodes[i]);
+                arc_usage[arc.index()].push((a_vars[l.0], 1.0));
+            }
+        }
+        for arc in topo.arcs() {
+            let usage = &arc_usage[arc.index()];
+            if !usage.is_empty() {
+                lp.add_le(usage.iter().copied(), topo.capacity(arc.link()));
+            }
+        }
+
+        Master {
+            lp: IncrementalLp::new(lp),
+            a_vars,
+            b_vars,
+            z_vars,
+        }
+    }
+
+    fn z_var_of(&self, p: PairId) -> Option<VarId> {
+        match &self.z_vars {
             ZVars::Shared(v) => Some(*v),
             ZVars::PerPair(vs) => vs[p.0],
         }
-    };
-
-    // Capacity constraints per directed arc (Eq. 3, full duplex).
-    let mut arc_usage: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); topo.arc_count()];
-    for l in inst.tunnel_ids() {
-        let path = inst.tunnel(l);
-        for (i, &link) in path.links.iter().enumerate() {
-            let arc = topo.arc_from(link, path.nodes[i]);
-            arc_usage[arc.index()].push((a_vars[l.0], 1.0));
-        }
-    }
-    for arc in topo.arcs() {
-        let usage = &arc_usage[arc.index()];
-        if !usage.is_empty() {
-            lp.add_le(usage.iter().copied(), topo.capacity(arc.link()));
-        }
     }
 
-    // Scenario cuts.
-    for cut in cuts {
+    /// Appends one scenario cut row
+    /// `Σ_l a_l (1-y_l) + Σ_{q∈L} b_q h_q - Σ_{q'∈Q} b_{q'} h_{q'} - z_p d_p >= 0`.
+    fn append_cut(&mut self, inst: &Instance, cut: &Cut) {
         let p = cut.pair;
         let mut row: Vec<(VarId, f64)> = Vec::new();
         for (i, &l) in inst.tunnels_of(p).iter().enumerate() {
             let coef = 1.0 - cut.wc.y[i];
             if coef != 0.0 {
-                row.push((a_vars[l.0], coef));
+                row.push((self.a_vars[l.0], coef));
             }
         }
         for (i, &q) in inst.lss_of(p).iter().enumerate() {
             if cut.wc.h_l[i] != 0.0 {
-                row.push((b_vars[q.0], cut.wc.h_l[i]));
+                row.push((self.b_vars[q.0], cut.wc.h_l[i]));
             }
         }
         for (i, &q) in inst.segments_of(p).iter().enumerate() {
             if cut.wc.h_q[i] != 0.0 {
-                row.push((b_vars[q.0], -cut.wc.h_q[i]));
+                row.push((self.b_vars[q.0], -cut.wc.h_q[i]));
             }
         }
         let d = inst.demand(p);
         if d > 0.0 {
-            if let Some(zv) = z_var_of(p) {
+            if let Some(zv) = self.z_var_of(p) {
                 row.push((zv, -d));
             }
         }
-        lp.add_ge(row, 0.0);
+        self.lp.add_ge(row, 0.0);
     }
 
-    let sol = lp.solve().expect("master LP is structurally valid");
-    assert!(
-        sol.status == Status::Optimal,
-        "master LP did not reach optimality: {}",
-        sol.status
-    );
+    /// Re-solves the master (warm after the first call) and reads out
+    /// `(a, b, z_per_pair, objective, was_warm)`.
+    fn solve(&mut self, inst: &Instance) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64, bool) {
+        let warm_before = self.lp.stats().warm_solves;
+        let sol = self.lp.solve().expect("master LP is structurally valid");
+        assert!(
+            sol.status == Status::Optimal,
+            "master LP did not reach optimality: {}",
+            sol.status
+        );
+        let was_warm = self.lp.stats().warm_solves > warm_before;
 
-    let a: Vec<f64> = a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
-    let b: Vec<f64> = b_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
-    let z: Vec<f64> = inst
-        .pair_ids()
-        .map(|p| match &z_vars {
-            ZVars::Shared(v) => sol.value(*v),
-            ZVars::PerPair(vs) => vs[p.0].map_or(0.0, |v| sol.value(v)),
-        })
-        .collect();
-    (a, b, z, sol.objective)
+        let a: Vec<f64> = self.a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
+        let b: Vec<f64> = self.b_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
+        let z: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| match &self.z_vars {
+                ZVars::Shared(v) => sol.value(*v),
+                ZVars::PerPair(vs) => vs[p.0].map_or(0.0, |v| sol.value(v)),
+            })
+            .collect();
+        (a, b, z, sol.objective, was_warm)
+    }
 }
 
 #[cfg(test)]
@@ -367,16 +480,32 @@ mod tests {
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 10.0)])
             .tunnels_per_pair(2)
             .build();
-        let mut opts = RobustOptions::default();
-        opts.objective = Objective::Throughput;
-        let sol = solve_robust(&inst, &FailureModel::links(0), AdversaryKind::LinkBased, &opts);
+        let opts = RobustOptions {
+            objective: Objective::Throughput,
+            ..RobustOptions::default()
+        };
+        let sol = solve_robust(
+            &inst,
+            &FailureModel::links(0),
+            AdversaryKind::LinkBased,
+            &opts,
+        );
         assert!((sol.objective - 2.0).abs() < 1e-5, "got {}", sol.objective);
         // Tiny demand: capped at z = 1 → throughput = demand.
         let inst2 = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 0.5)])
             .tunnels_per_pair(2)
             .build();
-        let sol2 = solve_robust(&inst2, &FailureModel::links(0), AdversaryKind::LinkBased, &opts);
-        assert!((sol2.objective - 0.5).abs() < 1e-6, "got {}", sol2.objective);
+        let sol2 = solve_robust(
+            &inst2,
+            &FailureModel::links(0),
+            AdversaryKind::LinkBased,
+            &opts,
+        );
+        assert!(
+            (sol2.objective - 0.5).abs() < 1e-6,
+            "got {}",
+            sol2.objective
+        );
     }
 
     #[test]
@@ -448,15 +577,28 @@ mod more_tests {
             groups: vec![vec![LinkId(0), LinkId(2)], vec![LinkId(1)], vec![LinkId(3)]],
             f: 1,
         };
-        let sol = solve_robust(&inst, &coupled, AdversaryKind::LinkBased, &RobustOptions::default());
+        let sol = solve_robust(
+            &inst,
+            &coupled,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
         assert!(sol.objective.abs() < 1e-6, "got {}", sol.objective);
         let separate = FailureModel::Groups {
             groups: topo.links().map(|l| vec![l]).collect(),
             f: 1,
         };
-        let sol2 =
-            solve_robust(&inst, &separate, AdversaryKind::LinkBased, &RobustOptions::default());
-        assert!((sol2.objective - 1.0).abs() < 1e-5, "got {}", sol2.objective);
+        let sol2 = solve_robust(
+            &inst,
+            &separate,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert!(
+            (sol2.objective - 1.0).abs() < 1e-5,
+            "got {}",
+            sol2.objective
+        );
     }
 
     #[test]
@@ -470,7 +612,12 @@ mod more_tests {
         let fm = FailureModel::Explicit {
             scenarios: vec![vec![LinkId(0)]],
         };
-        let sol = solve_robust(&inst, &fm, AdversaryKind::LinkBased, &RobustOptions::default());
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
         // Worst case: lose the left tunnel entirely -> right tunnel's
         // reservation (capacity 1) is the guarantee.
         assert!((sol.objective - 1.0).abs() < 1e-5, "got {}", sol.objective);
@@ -479,7 +626,12 @@ mod more_tests {
         let fm2 = FailureModel::Explicit {
             scenarios: topo.links().map(|l| vec![l]).collect(),
         };
-        let sol2 = solve_robust(&inst, &fm2, AdversaryKind::LinkBased, &RobustOptions::default());
+        let sol2 = solve_robust(
+            &inst,
+            &fm2,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
         let f1 = solve_robust(
             &inst,
             &FailureModel::links(1),
@@ -519,17 +671,58 @@ mod more_tests {
         // must not break the throughput accounting.
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 5.0)])
             .tunnels_per_pair(2)
-            .add_ls(LogicalSequence::always(vec![NodeId(0), NodeId(1), NodeId(3)]))
+            .add_ls(LogicalSequence::always(vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(3),
+            ]))
             .build();
         let opts = RobustOptions {
             objective: crate::objective::Objective::Throughput,
             ..RobustOptions::default()
         };
-        let sol = solve_robust(&inst, &FailureModel::links(1), AdversaryKind::LinkBased, &opts);
+        let sol = solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &opts,
+        );
         // Worst single failure leaves one unit path + whatever the LS is
         // backed by; total throughput is at least 1, at most the demand.
         assert!(sol.objective >= 1.0 - 1e-6);
         assert!(sol.objective <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn later_rounds_warm_start_and_match_cold_rebuild() {
+        let topo = pcf_topology::zoo::build("Sprint");
+        let tm = pcf_traffic::gravity(&topo, 2);
+        let inst = crate::schemes::tunnel_instance(&topo, &tm, 3);
+        let fm = FailureModel::links(1);
+
+        let warm = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert!(warm.rounds >= 2, "expected a multi-round solve");
+        // Every master re-solve after the first must reuse the live basis.
+        assert_eq!(warm.warm_rounds, warm.rounds - 1);
+
+        let cold_opts = RobustOptions {
+            warm_start: false,
+            threads: 1,
+            ..RobustOptions::default()
+        };
+        let cold = solve_robust(&inst, &fm, AdversaryKind::LinkBased, &cold_opts);
+        assert_eq!(cold.warm_rounds, 0);
+        assert!(
+            (warm.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
     }
 
     #[test]
@@ -541,7 +734,12 @@ mod more_tests {
             max_rounds: 1,
             ..RobustOptions::default()
         };
-        let sol = solve_robust(&inst, &FailureModel::links(1), AdversaryKind::LinkBased, &opts);
+        let sol = solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &opts,
+        );
         // One round cannot certify the worst case; the incumbent is an
         // upper bound of the converged value.
         let full = solve_robust(

@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn fig2_ffc_two_failures() {
         let sol3 = solve_ffc(&fig1_instance(3), &FailureModel::links(2), &opts());
-        assert!((sol3.objective - 0.5).abs() < 1e-5, "FFC-3 got {}", sol3.objective);
+        assert!(
+            (sol3.objective - 0.5).abs() < 1e-5,
+            "FFC-3 got {}",
+            sol3.objective
+        );
         let sol4 = solve_ffc(&fig1_instance(4), &FailureModel::links(2), &opts());
         assert!(sol4.objective.abs() < 1e-6, "FFC-4 got {}", sol4.objective);
     }
@@ -120,9 +124,17 @@ mod tests {
         // the full intrinsic capability on Fig. 1 (2 under f=1, 1 under f=2).
         let inst = fig1_instance(4);
         let s1 = solve_pcf_tf(&inst, &FailureModel::links(1), &opts());
-        assert!((s1.objective - 2.0).abs() < 1e-5, "f=1 got {}", s1.objective);
+        assert!(
+            (s1.objective - 2.0).abs() < 1e-5,
+            "f=1 got {}",
+            s1.objective
+        );
         let s2 = solve_pcf_tf(&inst, &FailureModel::links(2), &opts());
-        assert!((s2.objective - 1.0).abs() < 1e-5, "f=2 got {}", s2.objective);
+        assert!(
+            (s2.objective - 1.0).abs() < 1e-5,
+            "f=2 got {}",
+            s2.objective
+        );
     }
 
     #[test]
@@ -168,10 +180,8 @@ mod tests {
     fn fig4_tunnels_only_is_weaker() {
         // Without the LS the same tunnels guarantee at most 1/n = 1/2.
         let (topo, nodes) = crate::figures::fig4_topology(4, 2, 3);
-        let mut b = crate::instance::InstanceBuilder::with_demands(
-            &topo,
-            vec![(nodes[0], nodes[3], 1.0)],
-        );
+        let mut b =
+            crate::instance::InstanceBuilder::with_demands(&topo, vec![(nodes[0], nodes[3], 1.0)]);
         // All simple s0 -> s3 paths as tunnels (p * n * n of them).
         for l0 in topo.links().filter(|&l| topo.link(l).touches(nodes[0])) {
             for l1 in topo

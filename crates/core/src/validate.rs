@@ -148,10 +148,22 @@ mod tests {
             .tunnels_per_pair(2)
             .build();
         let fm = FailureModel::links(1);
-        let sol = solve_robust(&inst, &fm, AdversaryKind::LinkBased, &RobustOptions::default());
-        let served: Vec<f64> = inst.pair_ids().map(|p| sol.z[p.0] * inst.demand(p)).collect();
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
         let report = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
-        assert!(report.congestion_free(), "violations: {:?}", report.violations);
+        assert!(
+            report.congestion_free(),
+            "violations: {:?}",
+            report.violations
+        );
         assert!(report.max_utilization <= 1.0 + 1e-6);
         assert_eq!(report.scenarios, 4);
     }

@@ -1,0 +1,463 @@
+//! Incremental re-solving for row-growing linear programs.
+//!
+//! Cutting-plane algorithms (PCF's robust master problem among them) solve a
+//! sequence of LPs where each member differs from the last only by a handful
+//! of appended constraints. Rebuilding and re-solving from scratch discards
+//! everything the previous solve learned; this module keeps the terminal
+//! simplex workspace of [`crate::simplex`] alive and, when rows are
+//! appended, warm-starts from the previous optimal basis:
+//!
+//! * the basis inverse is extended in place with the block formula
+//!   `[[B, 0], [C, D]]^-1 = [[B^-1, 0], [-D^-1 C B^-1, D^-1]]`, where `D` is
+//!   diagonal because each appended row's entering basic column (its slack
+//!   or artificial) touches only that row — `O(k·m^2)` instead of a fresh
+//!   `O(m^3)` inversion plus a full phase 1;
+//! * an appended row whose activity at the current point already lies within
+//!   its bounds gets its slack basic directly and needs no phase-1 work at
+//!   all;
+//! * a violated row gets a single fresh artificial, and the warm phase 1
+//!   prices only those fresh artificials (all previous artificials stay
+//!   fixed at zero);
+//! * any numerical trouble on the warm path (iteration limit, residual
+//!   infeasibility) falls back to a cold solve of the full model, so results
+//!   are never worse than rebuilding from scratch.
+//!
+//! The one modelling restriction is inherited from [`crate::model`]: rows
+//! reference structural variables only, which is what makes appending a row
+//! a pure basis *extension*. Adding a variable after a solve invalidates the
+//! retained basis and the next solve runs cold.
+
+use crate::model::{LpProblem, RowId, Solution, SolveError, Status, VarId};
+use crate::simplex::{self, SolverState, VarState};
+
+/// Counters describing how an [`IncrementalLp`] has been solved so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Solves answered by warm-starting the retained basis.
+    pub warm_solves: usize,
+    /// Solves that ran the full two-phase method from scratch (including the
+    /// mandatory first solve).
+    pub cold_solves: usize,
+    /// Warm attempts abandoned for numerical reasons and re-run cold (these
+    /// also increment `cold_solves`).
+    pub warm_fallbacks: usize,
+}
+
+/// A linear program that stays alive across solves so that appended rows
+/// re-solve from the previous optimal basis.
+///
+/// # Example
+///
+/// ```
+/// use pcf_lp::{IncrementalLp, LpProblem, Sense};
+///
+/// // max x + y  s.t.  x + y <= 4,  x,y in [0, 3]
+/// let mut lp = LpProblem::new(Sense::Maximize);
+/// let x = lp.add_var(0.0, 3.0, 1.0);
+/// let y = lp.add_var(0.0, 3.0, 1.0);
+/// lp.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+///
+/// let mut inc = IncrementalLp::new(lp);
+/// let s0 = inc.solve().unwrap();
+/// assert!((s0.objective - 4.0).abs() < 1e-7);
+///
+/// // Cut off part of the optimum and re-solve warm.
+/// inc.add_le(vec![(x, 1.0)], 1.0);
+/// let s1 = inc.solve().unwrap();
+/// assert!((s1.objective - 4.0).abs() < 1e-7); // x=1, y=3
+/// assert_eq!(inc.stats().warm_solves, 1);
+/// ```
+pub struct IncrementalLp {
+    problem: LpProblem,
+    state: Option<SolverState>,
+    /// How many of `problem`'s rows the retained state has absorbed.
+    solved_rows: usize,
+    cached: Option<Solution>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalLp {
+    /// Wraps a fully-built problem. The first [`solve`](Self::solve) runs
+    /// the ordinary two-phase method; later solves warm-start.
+    pub fn new(problem: LpProblem) -> Self {
+        IncrementalLp {
+            problem,
+            state: None,
+            solved_rows: 0,
+            cached: None,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// The underlying model (read-only; mutate through the `add_*` methods
+    /// so the retained basis stays consistent).
+    pub fn problem(&self) -> &LpProblem {
+        &self.problem
+    }
+
+    /// Solve statistics accumulated so far.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Adds a variable. Invalidates the retained basis: the next solve runs
+    /// cold. Intended for model construction before the first solve.
+    pub fn add_var(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
+        self.state = None;
+        self.solved_rows = 0;
+        self.cached = None;
+        self.problem.add_var(lower, upper, obj)
+    }
+
+    /// Appends a range constraint; the next solve warm-starts from the
+    /// retained basis if one is available.
+    pub fn add_row(
+        &mut self,
+        coeffs: impl IntoIterator<Item = (VarId, f64)>,
+        lower: f64,
+        upper: f64,
+    ) -> RowId {
+        self.cached = None;
+        self.problem.add_row(coeffs, lower, upper)
+    }
+
+    /// Appends `expr <= rhs`.
+    pub fn add_le(&mut self, coeffs: impl IntoIterator<Item = (VarId, f64)>, rhs: f64) -> RowId {
+        self.add_row(coeffs, f64::NEG_INFINITY, rhs)
+    }
+
+    /// Appends `expr >= rhs`.
+    pub fn add_ge(&mut self, coeffs: impl IntoIterator<Item = (VarId, f64)>, rhs: f64) -> RowId {
+        self.add_row(coeffs, rhs, f64::INFINITY)
+    }
+
+    /// Appends `expr == rhs`.
+    pub fn add_eq(&mut self, coeffs: impl IntoIterator<Item = (VarId, f64)>, rhs: f64) -> RowId {
+        self.add_row(coeffs, rhs, rhs)
+    }
+
+    /// Solves the current model, warm-starting when possible.
+    pub fn solve(&mut self) -> Result<Solution, SolveError> {
+        if self.solved_rows == self.problem.num_rows() {
+            if let Some(sol) = &self.cached {
+                return Ok(sol.clone());
+            }
+        }
+
+        if self.state.is_some() && self.problem.num_rows() > self.solved_rows {
+            // The warm path consumes the state; it is reinstalled only if
+            // the attempt ends in a trustworthy terminal status.
+            let st = self.state.take().expect("checked above");
+            match self.warm_solve(st) {
+                Some((sol, st)) => {
+                    self.stats.warm_solves += 1;
+                    self.state = st;
+                    self.solved_rows = self.problem.num_rows();
+                    self.cached = Some(sol.clone());
+                    return Ok(sol);
+                }
+                None => self.stats.warm_fallbacks += 1,
+            }
+        }
+
+        let (sol, st) = simplex::solve_with_state(&self.problem, self.problem.options());
+        self.stats.cold_solves += 1;
+        self.state = st;
+        self.solved_rows = self.problem.num_rows();
+        self.cached = Some(sol.clone());
+        Ok(sol)
+    }
+
+    /// Attempts the warm-started solve; `None` means "fall back to cold".
+    fn warm_solve(&mut self, mut st: SolverState) -> Option<(Solution, Option<SolverState>)> {
+        let p = &self.problem;
+        if p.num_vars() != st.n {
+            return None; // variables were added behind our back
+        }
+        let tab = &mut st.tab;
+        let n = st.n;
+        let m_old = tab.m;
+        let k = p.rows.len() - self.solved_rows;
+        let opts = tab.opts.clone();
+
+        // ---- Extend the tableau with the appended rows. ----
+        // Each new row i gets a slack column; if the row is violated at the
+        // current point it also gets one artificial. Either way the column
+        // chosen basic for row i has its only entry in row i, so the new
+        // basis matrix is [[B, 0], [C, D]] with D diagonal.
+        let mut d_sign = Vec::with_capacity(k);
+        let mut new_xb = Vec::with_capacity(k);
+        // Per new row: (old basis position, scaled coeff) for columns basic
+        // in the old basis — the nonzeros of C.
+        let mut c_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(k);
+        let mut new_arts: Vec<usize> = Vec::new();
+
+        for (t, row) in p.rows[self.solved_rows..].iter().enumerate() {
+            let i = m_old + t;
+            let rscale = if opts.scale {
+                simplex::row_scale(&row.coeffs, &st.cscale)
+            } else {
+                1.0
+            };
+            let mut act = 0.0;
+            let mut c_entries = Vec::new();
+            for &(j, a) in &row.coeffs {
+                let av = a * rscale * st.cscale[j];
+                act += av * tab.value(j);
+                tab.cols[j].push((i, av));
+                if let VarState::Basic(r) = tab.state[j] {
+                    c_entries.push((r, av));
+                }
+            }
+            c_rows.push(c_entries);
+            let lo = row.lower * rscale;
+            let hi = row.upper * rscale;
+
+            // Slack column for row i.
+            let s_col = tab.cols.len();
+            tab.cols.push(vec![(i, -1.0)]);
+            tab.lower.push(lo);
+            tab.upper.push(hi);
+            tab.cost.push(0.0);
+            if act >= lo - opts.tol && act <= hi + opts.tol {
+                // Row already satisfied: its slack enters the basis at the
+                // current activity. No phase-1 work needed.
+                tab.state.push(VarState::Basic(i));
+                tab.basis.push(s_col);
+                d_sign.push(-1.0);
+                new_xb.push(act);
+            } else {
+                // Violated: park the slack on the near bound and cover the
+                // residual with a fresh artificial (value |resid| >= 0).
+                let sv = if act < lo { lo } else { hi };
+                tab.state.push(if act < lo {
+                    VarState::AtLower
+                } else {
+                    VarState::AtUpper
+                });
+                let resid = act - sv;
+                let s = if resid >= 0.0 { -1.0 } else { 1.0 };
+                let a_col = tab.cols.len();
+                tab.cols.push(vec![(i, s)]);
+                tab.lower.push(0.0);
+                tab.upper.push(f64::INFINITY);
+                tab.cost.push(0.0);
+                tab.state.push(VarState::Basic(i));
+                tab.basis.push(a_col);
+                d_sign.push(s);
+                new_xb.push(resid.abs());
+                new_arts.push(a_col);
+            }
+        }
+        tab.ncols = tab.cols.len();
+
+        // ---- Block extension of the basis inverse. ----
+        let m_new = m_old + k;
+        let mut binv = vec![0.0; m_new * m_new];
+        for r in 0..m_old {
+            binv[r * m_new..r * m_new + m_old]
+                .copy_from_slice(&tab.binv[r * m_old..(r + 1) * m_old]);
+        }
+        for t in 0..k {
+            let r = m_old + t;
+            let d_inv = 1.0 / d_sign[t];
+            // Row r of the new inverse: [-(1/d) C_t B^-1 | e_t / d].
+            for &(br, c) in &c_rows[t] {
+                let src = &tab.binv[br * m_old..(br + 1) * m_old];
+                let f = d_inv * c;
+                let dst = &mut binv[r * m_new..r * m_new + m_old];
+                for (dq, sq) in dst.iter_mut().zip(src.iter()) {
+                    *dq -= f * sq;
+                }
+            }
+            binv[r * m_new + r] = d_inv;
+        }
+        tab.binv = binv;
+        tab.m = m_new;
+        tab.xb.extend_from_slice(&new_xb);
+        // Re-derive all basic values through the extended inverse; this both
+        // refreshes the new rows and validates the extension numerically.
+        tab.recompute_basics();
+
+        let start_iters = tab.iterations;
+        let max_iter = tab.iterations + opts.max_iterations.unwrap_or(20_000 + 100 * (m_new + n));
+
+        // ---- Warm phase 1: drive only the fresh artificials to zero. ----
+        if !new_arts.is_empty() {
+            let mut p1 = vec![0.0; tab.ncols];
+            for &a in &new_arts {
+                p1[a] = 1.0;
+            }
+            let s1 = tab.optimize(&p1, max_iter);
+            if s1 != Status::Optimal {
+                return None;
+            }
+            let art_sum: f64 = new_arts.iter().map(|&a| tab.value(a).max(0.0)).sum();
+            if art_sum > opts.tol.max(1e-6) {
+                // The appended rows are (numerically) unsatisfiable from
+                // here; let the cold path deliver the verdict.
+                return None;
+            }
+            for &a in &new_arts {
+                tab.upper[a] = 0.0;
+                if !matches!(tab.state[a], VarState::Basic(_)) {
+                    tab.state[a] = VarState::AtLower;
+                }
+            }
+        }
+
+        // ---- Phase 2 from the (repaired) basis. ----
+        let p2 = tab.cost.clone();
+        let s2 = tab.optimize(&p2, max_iter);
+        let mut sol = simplex::extract(tab, p, n, &st.cscale, s2);
+        sol.iterations = tab.iterations - start_iters;
+        match sol.status {
+            Status::Optimal => Some((sol, Some(st))),
+            // A warm unbounded ray is a genuine certificate, but the basis
+            // is not worth keeping.
+            Status::Unbounded => Some((sol, None)),
+            // Iteration limit / demoted optimal: retry cold.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() <= 1e-7 * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn warm_resolve_matches_scratch_when_cut_is_slack() {
+        // max x + y, x + y <= 4, x,y in [0,3]; then append x + 2y <= 10,
+        // which the optimum already satisfies.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 3.0, 1.0);
+        let y = lp.add_var(0.0, 3.0, 1.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+        let mut inc = IncrementalLp::new(lp);
+        let s0 = inc.solve().unwrap();
+        assert_close(s0.objective, 4.0);
+
+        inc.add_le(vec![(x, 1.0), (y, 2.0)], 10.0);
+        let s1 = inc.solve().unwrap();
+        assert_eq!(s1.status, Status::Optimal);
+        assert_close(s1.objective, 4.0);
+        assert_eq!(inc.stats().warm_solves, 1);
+        assert_eq!(inc.stats().cold_solves, 1);
+        // Satisfied row: no phase-1 pivots should have been necessary, and
+        // phase 2 starts optimal.
+        assert_eq!(s1.iterations, 0);
+    }
+
+    #[test]
+    fn warm_resolve_matches_scratch_when_cut_is_violated() {
+        // Same base model; append a cut that slices off the old optimum.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 3.0, 2.0);
+        let y = lp.add_var(0.0, 3.0, 1.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+        let mut inc = IncrementalLp::new(lp);
+        let s0 = inc.solve().unwrap();
+        assert_close(s0.objective, 7.0); // x=3, y=1
+
+        inc.add_le(vec![(x, 1.0)], 1.0);
+        let s1 = inc.solve().unwrap();
+        assert_eq!(s1.status, Status::Optimal);
+        assert_close(s1.objective, 5.0); // x=1, y=3
+        assert_eq!(inc.stats().warm_solves, 1);
+
+        // Cross-check against a from-scratch build of the final model.
+        let mut full = LpProblem::new(Sense::Maximize);
+        let fx = full.add_var(0.0, 3.0, 2.0);
+        let fy = full.add_var(0.0, 3.0, 1.0);
+        full.add_le(vec![(fx, 1.0), (fy, 1.0)], 4.0);
+        full.add_le(vec![(fx, 1.0)], 1.0);
+        let fs = full.solve().unwrap();
+        assert_close(s1.objective, fs.objective);
+    }
+
+    #[test]
+    fn repeated_appends_stay_warm() {
+        // Tighten the same knapsack five times; every re-solve is warm.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_le(vec![(x, 1.0), (y, 1.0)], 12.0);
+        let mut inc = IncrementalLp::new(lp);
+        inc.solve().unwrap();
+        for r in 0..5 {
+            let rhs = 10.0 - r as f64;
+            inc.add_le(vec![(x, 1.0), (y, 1.0)], rhs);
+            let s = inc.solve().unwrap();
+            assert_eq!(s.status, Status::Optimal);
+            assert_close(s.objective, rhs);
+        }
+        assert_eq!(inc.stats().warm_solves, 5);
+        assert_eq!(inc.stats().cold_solves, 1);
+        assert_eq!(inc.stats().warm_fallbacks, 0);
+    }
+
+    #[test]
+    fn infeasible_append_detected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_le(vec![(x, 1.0)], 1.0);
+        let mut inc = IncrementalLp::new(lp);
+        inc.solve().unwrap();
+        inc.add_ge(vec![(x, 1.0)], 2.0);
+        let s = inc.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn cached_solution_returned_without_resolving() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_le(vec![(x, 1.0)], 1.0);
+        let mut inc = IncrementalLp::new(lp);
+        let s0 = inc.solve().unwrap();
+        let s1 = inc.solve().unwrap();
+        assert_eq!(s0.objective, s1.objective);
+        assert_eq!(inc.stats().cold_solves, 1);
+        assert_eq!(inc.stats().warm_solves, 0);
+    }
+
+    #[test]
+    fn add_var_invalidates_basis_and_solves_cold() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, 2.0, 1.0);
+        lp.add_le(vec![(x, 1.0)], 2.0);
+        let mut inc = IncrementalLp::new(lp);
+        inc.solve().unwrap();
+        let y = inc.add_var(0.0, 2.0, 1.0);
+        inc.add_le(vec![(y, 1.0)], 1.0);
+        let s = inc.solve().unwrap();
+        assert_close(s.objective, 3.0);
+        assert_eq!(inc.stats().cold_solves, 2);
+        assert_eq!(inc.stats().warm_solves, 0);
+    }
+
+    #[test]
+    fn equality_append_with_free_slack_range() {
+        // Append an equality row, which gives the slack a fixed range.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(0.0, 5.0, 1.0);
+        let y = lp.add_var(0.0, 5.0, 2.0);
+        lp.add_ge(vec![(x, 1.0), (y, 1.0)], 2.0);
+        let mut inc = IncrementalLp::new(lp);
+        let s0 = inc.solve().unwrap();
+        assert_close(s0.objective, 2.0); // x=2
+        inc.add_eq(vec![(y, 1.0)], 1.5);
+        let s1 = inc.solve().unwrap();
+        assert_eq!(s1.status, Status::Optimal);
+        assert_close(s1.objective, 3.5); // x=0.5, y=1.5
+    }
+}

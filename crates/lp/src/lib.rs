@@ -6,14 +6,19 @@
 //! * [`model`] — an [`LpProblem`] builder with range rows and variable
 //!   bounds, the interface all PCF/FFC/R3/optimal models are built against;
 //! * [`simplex`] — a bounded-variable revised primal simplex method;
+//! * [`incremental`] — an [`IncrementalLp`] wrapper that appends rows to a
+//!   solved problem and re-solves warm-starting from the previous basis,
+//!   the engine under PCF's cutting-plane loop;
 //! * [`linsys`] — dense Gaussian elimination and Gauss–Seidel iteration for
 //!   the M-matrix linear systems of PCF's online response (Props. 5–6).
 
+pub mod incremental;
 pub mod linsys;
 pub mod model;
 pub mod simplex;
 pub mod write;
 
+pub use incremental::{IncrementalLp, IncrementalStats};
 pub use linsys::{solve_dense, solve_gauss_seidel, DenseMatrix, LinSysError};
 pub use model::{LpProblem, RowId, Sense, Solution, SolveError, Status, VarId};
 pub use simplex::SimplexOptions;

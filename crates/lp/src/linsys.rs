@@ -22,7 +22,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates an `n x n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        DenseMatrix { n, a: vec![0.0; n * n] }
+        DenseMatrix {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Dimension.
@@ -52,9 +55,9 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.a[i * self.n..(i + 1) * self.n];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -221,7 +224,7 @@ mod tests {
     fn dense_solves_general_system() {
         let m = example_m_matrix();
         let b = vec![1.0, 2.0, 3.0];
-        let x = solve_dense(&m, &[b.clone()]).unwrap();
+        let x = solve_dense(&m, std::slice::from_ref(&b)).unwrap();
         let r = m.mul_vec(&x[0]);
         for (ri, bi) in r.iter().zip(&b) {
             assert!((ri - bi).abs() < 1e-10);
@@ -258,7 +261,7 @@ mod tests {
     fn gauss_seidel_matches_dense_on_m_matrix() {
         let m = example_m_matrix();
         let b = vec![2.0, -1.0, 0.5];
-        let exact = solve_dense(&m, &[b.clone()]).unwrap();
+        let exact = solve_dense(&m, std::slice::from_ref(&b)).unwrap();
         let gs = solve_gauss_seidel(&m, &b, 1e-12, 10_000).unwrap();
         for (a, e) in gs.iter().zip(&exact[0]) {
             assert!((a - e).abs() < 1e-9, "gs {a} vs dense {e}");

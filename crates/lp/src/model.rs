@@ -131,6 +131,11 @@ impl LpProblem {
         self.options = options;
     }
 
+    /// Current solver options.
+    pub(crate) fn options(&self) -> &SimplexOptions {
+        &self.options
+    }
+
     /// Adds a variable with bounds `[lower, upper]` and objective coefficient
     /// `obj`. `lower` may be `f64::NEG_INFINITY` (free below) and `upper` may
     /// be `f64::INFINITY`.

@@ -60,7 +60,7 @@ impl Default for SimplexOptions {
 
 /// Where a column currently sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
+pub(crate) enum VarState {
     Basic(usize), // row index in the basis
     AtLower,
     AtUpper,
@@ -69,22 +69,31 @@ enum VarState {
 }
 
 /// The standardized problem plus solver workspace.
-struct Tableau {
-    m: usize,             // rows
-    ncols: usize,         // structural + slack + artificial columns
-    cols: Vec<Vec<(usize, f64)>>, // sparse columns of [A | -I | +-I]
-    lower: Vec<f64>,
-    upper: Vec<f64>,
-    cost: Vec<f64>,       // phase-2 cost
-    state: Vec<VarState>,
-    basis: Vec<usize>,    // column index basic in each row
-    binv: Vec<f64>,       // m x m row-major
-    xb: Vec<f64>,         // values of basic variables per row
-    opts: SimplexOptions,
-    iterations: usize,
+///
+/// Kept `pub(crate)` so [`crate::incremental`] can retain it across solves
+/// and extend it in place when rows are appended.
+pub(crate) struct Tableau {
+    pub(crate) m: usize,                     // rows
+    pub(crate) ncols: usize,                 // structural + slack + artificial columns
+    pub(crate) cols: Vec<Vec<(usize, f64)>>, // sparse columns of [A | -I | +-I]
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) cost: Vec<f64>, // phase-2 cost
+    pub(crate) state: Vec<VarState>,
+    pub(crate) basis: Vec<usize>, // column index basic in each row
+    pub(crate) binv: Vec<f64>,    // m x m row-major
+    pub(crate) xb: Vec<f64>,      // values of basic variables per row
+    pub(crate) opts: SimplexOptions,
+    pub(crate) iterations: usize,
 }
 
 impl Tableau {
+    /// Current value of any column: bound value if nonbasic, `xb` if basic.
+    #[inline]
+    pub(crate) fn value(&self, j: usize) -> f64 {
+        self.nonbasic_value(j)
+    }
+
     #[inline]
     fn nonbasic_value(&self, j: usize) -> f64 {
         match self.state[j] {
@@ -96,7 +105,7 @@ impl Tableau {
     }
 
     /// x_B = -B^{-1} * sum_j nonbasic A_j x_j  (rhs is zero).
-    fn recompute_basics(&mut self) {
+    pub(crate) fn recompute_basics(&mut self) {
         let m = self.m;
         let mut rhs = vec![0.0; m];
         for j in 0..self.ncols {
@@ -123,7 +132,7 @@ impl Tableau {
 
     /// Rebuilds `binv` from the current basis by Gauss-Jordan elimination.
     /// Returns false if the basis matrix is numerically singular.
-    fn reinvert(&mut self) -> bool {
+    pub(crate) fn reinvert(&mut self) -> bool {
         let m = self.m;
         // Dense B (row-major) from basis columns.
         let mut b = vec![0.0; m * m];
@@ -203,8 +212,8 @@ impl Tableau {
         }
         for &(i, a) in &self.cols[j] {
             if a != 0.0 {
-                for r in 0..m {
-                    d[r] += self.binv[r * m + i] * a;
+                for (r, dr) in d.iter_mut().enumerate().take(m) {
+                    *dr += self.binv[r * m + i] * a;
                 }
             }
         }
@@ -242,7 +251,7 @@ impl Tableau {
 
     /// One simplex phase: minimize `cost` (already loaded per column) from
     /// the current basis. Returns the terminal status of the phase.
-    fn optimize(&mut self, cost: &[f64], max_iter: usize) -> Status {
+    pub(crate) fn optimize(&mut self, cost: &[f64], max_iter: usize) -> Status {
         let m = self.m;
         let mut y = vec![0.0; m];
         let mut d = vec![0.0; m];
@@ -255,15 +264,15 @@ impl Tableau {
                 return Status::IterationLimit;
             }
 
-            for r in 0..m {
-                cb[r] = cost[self.basis[r]];
+            for (r, c) in cb.iter_mut().enumerate().take(m) {
+                *c = cost[self.basis[r]];
             }
             self.btran(&cb, &mut y);
 
             // Pricing: pick entering column.
             let use_bland = degenerate_run >= self.opts.bland_after;
             let mut enter: Option<(usize, f64, f64)> = None; // (col, rc, dir)
-            'pricing: for j in 0..self.ncols {
+            'pricing: for (j, &cj) in cost.iter().enumerate().take(self.ncols) {
                 let st = self.state[j];
                 if matches!(st, VarState::Basic(_)) {
                     continue;
@@ -271,7 +280,7 @@ impl Tableau {
                 if self.upper[j] - self.lower[j] <= 0.0 {
                     continue; // fixed
                 }
-                let mut rc = cost[j];
+                let mut rc = cj;
                 for &(i, a) in &self.cols[j] {
                     rc -= y[i] * a;
                 }
@@ -332,8 +341,7 @@ impl Tableau {
                 let better = match leave {
                     None => t < t_max - 1e-12,
                     Some((br, _)) => {
-                        t < t_max - 1e-12
-                            || (t <= t_max + 1e-12 && d[r].abs() > d[br].abs())
+                        t < t_max - 1e-12 || (t <= t_max + 1e-12 && d[r].abs() > d[br].abs())
                     }
                 };
                 if better {
@@ -358,8 +366,8 @@ impl Tableau {
                 None => {
                     // Bound flip: entering runs across its whole range.
                     let t = t_max;
-                    for r in 0..m {
-                        self.xb[r] += -dir * t * d[r];
+                    for (r, &dr) in d.iter().enumerate().take(m) {
+                        self.xb[r] += -dir * t * dr;
                     }
                     self.state[jin] = match self.state[jin] {
                         VarState::AtLower => VarState::AtUpper,
@@ -376,8 +384,8 @@ impl Tableau {
                         VarState::FreeZero => dir * t,
                         VarState::Basic(_) => unreachable!(),
                     };
-                    for i in 0..m {
-                        self.xb[i] += -dir * t * d[i];
+                    for (i, &di) in d.iter().enumerate().take(m) {
+                        self.xb[i] += -dir * t * di;
                     }
                     let jout = self.basis[r];
                     self.state[jout] = if at_upper {
@@ -405,7 +413,7 @@ impl Tableau {
     }
 
     /// Sum of bound violations over basic variables.
-    fn primal_infeasibility(&self) -> f64 {
+    pub(crate) fn primal_infeasibility(&self) -> f64 {
         let mut s = 0.0;
         for r in 0..self.m {
             let j = self.basis[r];
@@ -461,8 +469,92 @@ fn scaling(problem: &LpProblem) -> (Vec<f64>, Vec<f64>) {
     (rscale, cscale)
 }
 
+/// Equilibration factor for a single appended row, consistent with the
+/// column scales already fixed by the initial solve.
+pub(crate) fn row_scale(coeffs: &[(usize, f64)], cscale: &[f64]) -> f64 {
+    let mut mx: f64 = 0.0;
+    let mut mn = f64::INFINITY;
+    for &(j, a) in coeffs {
+        let v = (a * cscale[j]).abs();
+        if v > 0.0 {
+            mx = mx.max(v);
+            mn = mn.min(v);
+        }
+    }
+    if mx > 0.0 {
+        1.0 / (mx * mn).sqrt()
+    } else {
+        1.0
+    }
+}
+
+/// Solver workspace retained after a successful solve so follow-up solves
+/// (with appended rows) can warm-start from the optimal basis.
+pub(crate) struct SolverState {
+    pub(crate) tab: Tableau,
+    /// Structural variable count at solve time.
+    pub(crate) n: usize,
+    /// Column equilibration factors, fixed for the lifetime of the state.
+    pub(crate) cscale: Vec<f64>,
+}
+
+/// Reads the structural solution out of a terminal tableau and applies the
+/// same status demotion as the cold path: an "optimal" basis that violates
+/// bounds by more than 1e-5 is reported as [`Status::IterationLimit`].
+pub(crate) fn extract(
+    tab: &Tableau,
+    problem: &LpProblem,
+    n: usize,
+    cscale: &[f64],
+    phase2_status: Status,
+) -> Solution {
+    let mut x = vec![0.0; n];
+    for (j, xj) in x.iter_mut().enumerate() {
+        *xj = tab.value(j) * cscale[j];
+        // Clamp tiny bound violations from round-off.
+        if *xj < problem.lower[j] {
+            *xj = problem.lower[j];
+        }
+        if *xj > problem.upper[j] {
+            *xj = problem.upper[j];
+        }
+    }
+    let objective: f64 = x
+        .iter()
+        .zip(problem.obj.iter())
+        .map(|(xi, ci)| xi * ci)
+        .sum();
+    let status = match phase2_status {
+        Status::Optimal => {
+            if tab.primal_infeasibility() > 1e-5 {
+                // Numerical trouble; report as iteration limit rather than
+                // returning a wrong "optimal".
+                Status::IterationLimit
+            } else {
+                Status::Optimal
+            }
+        }
+        s => s,
+    };
+    Solution {
+        status,
+        objective,
+        x,
+        iterations: tab.iterations,
+    }
+}
+
 /// Solves `problem`; see module docs for the algorithm.
 pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
+    solve_with_state(problem, opts).0
+}
+
+/// Like [`solve`], but additionally returns the terminal solver workspace
+/// when the solve ran to completion, for use by [`crate::incremental`].
+pub(crate) fn solve_with_state(
+    problem: &LpProblem,
+    opts: &SimplexOptions,
+) -> (Solution, Option<SolverState>) {
     let m = problem.rows.len();
     let n = problem.num_vars();
 
@@ -531,9 +623,9 @@ pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
     // Artificial i has coefficient matching -resid so its value is |resid|.
     let mut basis = Vec::with_capacity(m);
     let mut phase1_cost = vec![0.0; ncols];
-    for i in 0..m {
+    for (i, &ri) in resid.iter().enumerate().take(m) {
         let a = n + m + i;
-        let s = if resid[i] >= 0.0 { -1.0 } else { 1.0 };
+        let s = if ri >= 0.0 { -1.0 } else { 1.0 };
         cols[a].push((i, s));
         lower[a] = 0.0;
         upper[a] = f64::INFINITY;
@@ -558,17 +650,13 @@ pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
     };
     // Basis of artificials: B = diag(sign), B^{-1} = diag(sign).
     tab.binv = vec![0.0; m * m];
-    for i in 0..m {
-        let s = if resid[i] >= 0.0 { -1.0 } else { 1.0 };
+    for (i, &ri) in resid.iter().enumerate().take(m) {
+        let s = if ri >= 0.0 { -1.0 } else { 1.0 };
         tab.binv[i * m + i] = s;
-    }
-    for i in 0..m {
-        tab.xb[i] = resid[i].abs();
+        tab.xb[i] = ri.abs();
     }
 
-    let max_iter = opts
-        .max_iterations
-        .unwrap_or(20_000 + 100 * (m + n));
+    let max_iter = opts.max_iterations.unwrap_or(20_000 + 100 * (m + n));
 
     // ---- Phase 1 ----
     let p1cost = phase1_cost.clone();
@@ -584,20 +672,22 @@ pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
         })
         .sum();
     if status1 == Status::IterationLimit {
-        return Solution {
+        let sol = Solution {
             status: Status::IterationLimit,
             objective: f64::NAN,
             x: vec![0.0; n],
             iterations: tab.iterations,
         };
+        return (sol, None);
     }
     if art_sum > opts.tol.max(1e-6) {
-        return Solution {
+        let sol = Solution {
             status: Status::Infeasible,
             objective: f64::NAN,
             x: vec![0.0; n],
             iterations: tab.iterations,
         };
+        return (sol, None);
     }
     // Fix artificials at zero for phase 2.
     for i in 0..m {
@@ -612,50 +702,13 @@ pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
     let p2cost = tab.cost.clone();
     let status2 = tab.optimize(&p2cost, max_iter);
 
-    // Extract the (unscaled) solution.
-    let mut xs = vec![0.0; ncols];
-    for j in 0..ncols {
-        xs[j] = tab.nonbasic_value(j);
-    }
-    for r in 0..m {
-        xs[tab.basis[r]] = tab.xb[r];
-    }
-    let mut x = vec![0.0; n];
-    for (j, xj) in x.iter_mut().enumerate() {
-        *xj = xs[j] * cscale[j];
-        // Clamp tiny bound violations from round-off.
-        if *xj < problem.lower[j] {
-            *xj = problem.lower[j];
-        }
-        if *xj > problem.upper[j] {
-            *xj = problem.upper[j];
-        }
-    }
-    let objective: f64 = x
-        .iter()
-        .zip(problem.obj.iter())
-        .map(|(xi, ci)| xi * ci)
-        .sum();
-
-    let status = match status2 {
-        Status::Optimal => {
-            if tab.primal_infeasibility() > 1e-5 {
-                // Numerical trouble; report as iteration limit rather than
-                // returning a wrong "optimal".
-                Status::IterationLimit
-            } else {
-                Status::Optimal
-            }
-        }
-        s => s,
+    let sol = extract(&tab, problem, n, &cscale, status2);
+    let state = if sol.status == Status::Optimal {
+        Some(SolverState { tab, n, cscale })
+    } else {
+        None
     };
-
-    Solution {
-        status,
-        objective,
-        x,
-        iterations: tab.iterations,
-    }
+    (sol, state)
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 //! candidate tight sets, solve the resulting square systems, filter by
 //! feasibility, and take the best vertex. The simplex solver must agree.
 
-use pcf_lp::{solve_dense, DenseMatrix, LpProblem, Sense, Status};
-use proptest::prelude::*;
+use pcf_lp::{solve_dense, DenseMatrix, IncrementalLp, LpProblem, Sense, Status};
+use pcf_rng::{forall, no_shrink, Config, Pcg32};
 
 /// A tight-able constraint: coefficients and the activity value it pins.
 struct TightCandidate {
@@ -32,7 +32,10 @@ fn brute_force(
             coeffs: c.clone(),
             value: l,
         });
-        cands.push(TightCandidate { coeffs: c, value: u });
+        cands.push(TightCandidate {
+            coeffs: c,
+            value: u,
+        });
     }
     for (c, l, u) in rows {
         cands.push(TightCandidate {
@@ -104,56 +107,153 @@ fn brute_force(
     }
 }
 
-fn small_lp_strategy() -> impl Strategy<Value = (usize, Vec<f64>, Vec<(f64, f64)>, Vec<(Vec<f64>, f64, f64)>)>
-{
-    (2usize..=3).prop_flat_map(|n| {
-        let obj = prop::collection::vec(-5.0..5.0f64, n);
-        let bounds = prop::collection::vec((0.0..2.0f64, 2.5..6.0f64), n);
-        let row = (
-            prop::collection::vec(-3.0..3.0f64, n),
-            -10.0..0.0f64,
-            1.0..12.0f64,
-        );
-        let rows = prop::collection::vec(row, 1..=3);
-        (Just(n), obj, bounds, rows)
-    })
+/// A randomly drawn small LP instance.
+#[derive(Debug, Clone)]
+struct SmallLp {
+    n: usize,
+    obj: Vec<f64>,
+    bounds: Vec<(f64, f64)>,
+    rows: Vec<(Vec<f64>, f64, f64)>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-    #[test]
-    fn simplex_matches_vertex_enumeration(
-        (n, obj, bounds, rows) in small_lp_strategy()
-    ) {
-        let mut lp = LpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..n)
-            .map(|j| lp.add_var(bounds[j].0, bounds[j].1, obj[j]))
-            .collect();
-        for (c, l, u) in &rows {
-            lp.add_row(vars.iter().zip(c).map(|(&v, &a)| (v, a)), *l, *u);
-        }
-        let sol = lp.solve().unwrap();
-        let brute = brute_force(n, &obj, &bounds, &rows);
-        match brute {
-            Some(best) => {
-                prop_assert_eq!(sol.status, Status::Optimal);
-                prop_assert!(
-                    (sol.objective - best).abs() <= 1e-5 * (1.0 + best.abs()),
-                    "simplex {} vs brute force {}", sol.objective, best
-                );
-            }
-            None => {
-                prop_assert_eq!(sol.status, Status::Infeasible);
-            }
-        }
+fn gen_small_lp(rng: &mut Pcg32) -> SmallLp {
+    let n = rng.range_usize_inclusive(2, 3);
+    let obj: Vec<f64> = (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+    let bounds: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.range_f64(0.0, 2.0), rng.range_f64(2.5, 6.0)))
+        .collect();
+    let nrows = rng.range_usize_inclusive(1, 3);
+    let rows: Vec<(Vec<f64>, f64, f64)> = (0..nrows)
+        .map(|_| {
+            let c: Vec<f64> = (0..n).map(|_| rng.range_f64(-3.0, 3.0)).collect();
+            (c, rng.range_f64(-10.0, 0.0), rng.range_f64(1.0, 12.0))
+        })
+        .collect();
+    SmallLp {
+        n,
+        obj,
+        bounds,
+        rows,
     }
+}
+
+fn build(inst: &SmallLp) -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..inst.n)
+        .map(|j| lp.add_var(inst.bounds[j].0, inst.bounds[j].1, inst.obj[j]))
+        .collect();
+    for (c, l, u) in &inst.rows {
+        lp.add_row(vars.iter().zip(c).map(|(&v, &a)| (v, a)), *l, *u);
+    }
+    lp
+}
+
+/// Dropping rows one at a time keeps counterexamples minimal.
+fn shrink_rows(inst: &SmallLp) -> Vec<SmallLp> {
+    (0..inst.rows.len())
+        .filter(|_| inst.rows.len() > 1)
+        .map(|i| {
+            let mut s = inst.clone();
+            s.rows.remove(i);
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn simplex_matches_vertex_enumeration() {
+    forall(
+        "simplex_matches_vertex_enumeration",
+        &Config {
+            cases: 200,
+            ..Config::default()
+        },
+        gen_small_lp,
+        shrink_rows,
+        |inst| {
+            let sol = build(inst).solve().unwrap();
+            match brute_force(inst.n, &inst.obj, &inst.bounds, &inst.rows) {
+                Some(best) => {
+                    if sol.status != Status::Optimal {
+                        return Err(format!("expected optimal, got {}", sol.status));
+                    }
+                    if (sol.objective - best).abs() > 1e-5 * (1.0 + best.abs()) {
+                        return Err(format!("simplex {} vs brute force {best}", sol.objective));
+                    }
+                }
+                None => {
+                    if sol.status != Status::Infeasible {
+                        return Err(format!("expected infeasible, got {}", sol.status));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Incremental warm-started re-solves must agree with building the final
+/// model from scratch: solve a base LP, append the remaining rows, re-solve,
+/// and compare against a one-shot solve of the full model.
+#[test]
+fn incremental_append_matches_scratch() {
+    forall(
+        "incremental_append_matches_scratch",
+        &Config {
+            cases: 200,
+            ..Config::default()
+        },
+        |rng| {
+            let mut inst = gen_small_lp(rng);
+            // Ensure at least one row remains to be appended incrementally.
+            if inst.rows.len() < 2 {
+                let c: Vec<f64> = (0..inst.n).map(|_| rng.range_f64(-3.0, 3.0)).collect();
+                inst.rows
+                    .push((c, rng.range_f64(-10.0, 0.0), rng.range_f64(1.0, 12.0)));
+            }
+            let split = rng.range_usize(1, inst.rows.len());
+            (inst, split)
+        },
+        no_shrink,
+        |(inst, split)| {
+            let scratch = build(inst).solve().unwrap();
+
+            let mut base = inst.clone();
+            let appended: Vec<_> = base.rows.split_off(*split);
+            let mut inc = IncrementalLp::new(build(&base));
+            inc.solve().unwrap();
+            for (c, l, u) in &appended {
+                let vars: Vec<_> = (0..inst.n).map(pcf_lp::VarId).collect();
+                inc.add_row(vars.iter().zip(c).map(|(&v, &a)| (v, a)), *l, *u);
+            }
+            let warm = inc.solve().unwrap();
+
+            if warm.status != scratch.status {
+                return Err(format!(
+                    "status diverged: warm {} vs scratch {}",
+                    warm.status, scratch.status
+                ));
+            }
+            if scratch.status == Status::Optimal
+                && (warm.objective - scratch.objective).abs()
+                    > 1e-7 * (1.0 + scratch.objective.abs())
+            {
+                return Err(format!(
+                    "objective diverged: warm {} vs scratch {}",
+                    warm.objective, scratch.objective
+                ));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn dense_random_feasible_lps_are_solved_exactly() {
     // Deterministic seeds across a grid of sizes; checks objective against
     // brute force for n=3 with two rows.
-    let cases: &[(Vec<f64>, Vec<(f64, f64)>, Vec<(Vec<f64>, f64, f64)>)] = &[
+    type Case = (Vec<f64>, Vec<(f64, f64)>, Vec<(Vec<f64>, f64, f64)>);
+    let cases: &[Case] = &[
         (
             vec![1.0, 2.0, -1.0],
             vec![(0.0, 4.0), (0.0, 4.0), (0.0, 4.0)],

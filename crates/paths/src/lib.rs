@@ -52,7 +52,10 @@ impl Path {
 
     /// Number of links shared with another path.
     pub fn shared_links(&self, other: &Path) -> usize {
-        self.links.iter().filter(|l| other.links.contains(l)).count()
+        self.links
+            .iter()
+            .filter(|l| other.links.contains(l))
+            .count()
     }
 
     /// Whether the path visits each node at most once.
@@ -314,9 +317,7 @@ pub fn select_tunnels(topo: &Topology, s: NodeId, t: NodeId, k: usize) -> Vec<Pa
     if k >= 2 {
         let mut seed: Vec<Path> = Vec::new();
         for cand in &pool {
-            if seed.is_empty() {
-                seed.push(cand.clone());
-            } else if seed.len() == 1 && cand.shared_links(&seed[0]) == 0 {
+            if seed.is_empty() || (seed.len() == 1 && cand.shared_links(&seed[0]) == 0) {
                 seed.push(cand.clone());
             }
             if seed.len() == 2 {
@@ -326,7 +327,11 @@ pub fn select_tunnels(topo: &Topology, s: NodeId, t: NodeId, k: usize) -> Vec<Pa
         if seed.len() < 2 {
             seed.clear();
             if let Some((q1, q2)) = edge_disjoint_pair(topo, s, t) {
-                let (short, long) = if q1.len() <= q2.len() { (q1, q2) } else { (q2, q1) };
+                let (short, long) = if q1.len() <= q2.len() {
+                    (q1, q2)
+                } else {
+                    (q2, q1)
+                };
                 seed.push(short);
                 seed.push(long);
             }
@@ -352,7 +357,7 @@ pub fn select_tunnels(topo: &Topology, s: NodeId, t: NodeId, k: usize) -> Vec<Pa
                 .unwrap_or(1);
             let shared: usize = cand.links.iter().map(|l| usage[l.index()]).sum();
             let key = (max_overlap, shared, cand.len(), idx);
-            if best.map_or(true, |(_, bk)| key < bk) {
+            if best.is_none_or(|(_, bk)| key < bk) {
                 best = Some((idx, key));
             }
         }

@@ -127,12 +127,8 @@ fn skip_block(tokens: &[Token], mut i: usize) -> Result<usize, GmlError> {
 
 fn parse_number(tok: &Token) -> Result<f64, GmlError> {
     match tok {
-        Token::Word(w) => w
-            .parse::<f64>()
-            .map_err(|_| GmlError::BadNumber(w.clone())),
-        Token::Str(s) => s
-            .parse::<f64>()
-            .map_err(|_| GmlError::BadNumber(s.clone())),
+        Token::Word(w) => w.parse::<f64>().map_err(|_| GmlError::BadNumber(w.clone())),
+        Token::Str(s) => s.parse::<f64>().map_err(|_| GmlError::BadNumber(s.clone())),
         _ => Err(GmlError::BadNumber("[".into())),
     }
 }

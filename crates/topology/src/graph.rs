@@ -72,7 +72,7 @@ impl ArcId {
     /// Whether this arc runs from the link's `u` endpoint to its `v` endpoint.
     #[inline]
     pub fn is_forward(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The arc traversing the same link in the opposite direction.

@@ -14,8 +14,7 @@
 //! backbones.
 
 use crate::graph::Topology;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pcf_rng::Pcg32;
 
 /// Name, node count, and link count of each evaluation topology (Table 3).
 pub const TABLE3: &[(&str, usize, usize)] = &[
@@ -77,7 +76,10 @@ pub fn build(name: &str) -> Topology {
 pub fn build_all() -> Vec<Topology> {
     let mut specs: Vec<_> = TABLE3.to_vec();
     specs.sort_by_key(|&(_, _, m)| m);
-    specs.iter().map(|&(name, n, m)| synthetic(name, n, m)).collect()
+    specs
+        .iter()
+        .map(|&(name, n, m)| synthetic(name, n, m))
+        .collect()
 }
 
 /// Deterministically generates a simple 2-edge-connected topology with
@@ -87,15 +89,20 @@ pub fn build_all() -> Vec<Topology> {
 /// Panics unless `3 <= n <= m <= n*(n-1)/2`.
 pub fn synthetic(name: &str, n: usize, m: usize) -> Topology {
     assert!(n >= 3, "need at least 3 nodes, got {n}");
-    assert!(m >= n, "a 2-edge-connected simple graph needs m >= n ({m} < {n})");
+    assert!(
+        m >= n,
+        "a 2-edge-connected simple graph needs m >= n ({m} < {n})"
+    );
     assert!(m <= n * (n - 1) / 2, "too many links for a simple graph");
-    let mut rng = SmallRng::seed_from_u64(seed_for(name));
+    let mut rng = Pcg32::seed_from_u64(seed_for(name));
     let mut topo = Topology::new(name.to_string());
-    let nodes: Vec<_> = (0..n).map(|i| topo.add_node(format!("{name}-{i}"))).collect();
+    let nodes: Vec<_> = (0..n)
+        .map(|i| topo.add_node(format!("{name}-{i}")))
+        .collect();
     let mut have = std::collections::HashSet::new();
-    let cap = |rng: &mut SmallRng| {
+    let cap = |rng: &mut Pcg32| {
         // Mild preference for thin links, as in real WAN inventories.
-        let r: f64 = rng.gen();
+        let r: f64 = rng.f64();
         let idx = if r < 0.35 {
             0
         } else if r < 0.65 {
@@ -121,13 +128,13 @@ pub fn synthetic(name: &str, n: usize, m: usize) -> Topology {
     while remaining > 0 {
         attempts += 1;
         assert!(attempts < 100_000, "chord sampling failed to converge");
-        let i = rng.gen_range(0..n);
+        let i = rng.range_usize(0, n);
         // Skip distance: 2..n/2, geometric-ish bias toward short skips.
         let max_skip = (n / 2).max(2);
-        let skip = if rng.gen::<f64>() < 0.7 {
-            rng.gen_range(2..=(max_skip.min(4)))
+        let skip = if rng.f64() < 0.7 {
+            rng.range_usize_inclusive(2, max_skip.min(4))
         } else {
-            rng.gen_range(2..=max_skip)
+            rng.range_usize_inclusive(2, max_skip)
         };
         let j = (i + skip) % n;
         if i == j {
@@ -165,7 +172,10 @@ mod tests {
             let t = build(name);
             assert_eq!(t.node_count(), n, "{name} node count");
             assert_eq!(t.link_count(), m, "{name} link count");
-            assert!(t.is_two_edge_connected(), "{name} must survive any single link failure");
+            assert!(
+                t.is_two_edge_connected(),
+                "{name} must survive any single link failure"
+            );
         }
     }
 
@@ -197,7 +207,10 @@ mod tests {
         let mut tiers: Vec<f64> = t.links().map(|l| t.capacity(l)).collect();
         tiers.sort_by(|a, b| a.partial_cmp(b).unwrap());
         tiers.dedup();
-        assert!(tiers.len() >= 3, "expected several capacity tiers, got {tiers:?}");
+        assert!(
+            tiers.len() >= 3,
+            "expected several capacity tiers, got {tiers:?}"
+        );
         assert!(tiers.iter().all(|c| CAPACITY_TIERS.contains(c)));
     }
 

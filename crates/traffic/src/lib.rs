@@ -9,9 +9,8 @@
 //! MLU normalisation itself needs an optimal concurrent-flow solve and
 //! therefore lives in `pcf-core::scale`.
 
+use pcf_rng::Pcg32;
 use pcf_topology::{NodeId, Topology};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A dense traffic matrix: demand per ordered node pair.
 #[derive(Debug, Clone)]
@@ -124,9 +123,9 @@ impl TrafficMatrix {
         for (s, t, _) in &pairs {
             keep[s.index() * self.n + t.index()] = true;
         }
-        for i in 0..self.n * self.n {
-            if !keep[i] {
-                self.demand[i] = 0.0;
+        for (d, k) in self.demand.iter_mut().zip(&keep) {
+            if !k {
+                *d = 0.0;
             }
         }
         pairs.len()
@@ -142,14 +141,17 @@ impl TrafficMatrix {
 /// paper does. Deterministic in `seed`.
 pub fn gravity(topo: &Topology, seed: u64) -> TrafficMatrix {
     let n = topo.node_count();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let mut mass = vec![0.0f64; n];
     for u in topo.nodes() {
-        let cap: f64 = topo.incident(u).iter().map(|&(_, l)| topo.capacity(l)).sum();
+        let cap: f64 = topo
+            .incident(u)
+            .iter()
+            .map(|&(_, l)| topo.capacity(l))
+            .sum();
         // Multiplicative noise keeps masses positive and skewed, like city
         // populations in the original gravity formulation.
-        let noise = (-2.0 * rng.gen::<f64>().max(1e-12).ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * rng.gen::<f64>()).cos();
+        let noise = rng.normal();
         mass[u.index()] = cap * (0.25 * noise).exp();
     }
     let mass_sum: f64 = mass.iter().sum();

@@ -63,10 +63,7 @@ fn main() {
         .links()
         .filter(|l| aug.extra[l.index()] > 1e-6)
         .collect();
-    println!(
-        "\nto guarantee {:.4} (+25%) under single failures:",
-        target
-    );
+    println!("\nto guarantee {:.4} (+25%) under single failures:", target);
     println!(
         "  add {:.3} units of capacity across {} links:",
         aug.total_cost,

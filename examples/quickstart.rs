@@ -6,8 +6,8 @@
 //! ```
 
 use pcf_core::{
-    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc,
-    solve_pcf_ls, solve_pcf_tf, tunnel_instance, FailureModel, RobustOptions, ScenarioCoverage,
+    optimal_demand_scale, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
+    solve_pcf_tf, tunnel_instance, FailureModel, RobustOptions, ScenarioCoverage,
 };
 use pcf_topology::zoo;
 use pcf_traffic::gravity;
@@ -27,7 +27,11 @@ fn main() {
     //    0.6, as in the paper's setup (§5).
     let tm = gravity(&topo, 42);
     let (tm, _) = scale_to_mlu(&topo, &tm, 0.6);
-    println!("traffic: {} node pairs, total demand {:.2}", tm.positive_pairs().len(), tm.total());
+    println!(
+        "traffic: {} node pairs, total demand {:.2}",
+        tm.positive_pairs().len(),
+        tm.total()
+    );
 
     // 3. Design against any single link failure.
     let fm = FailureModel::links(1);

@@ -30,8 +30,12 @@ fn fig2_single_failure_column() {
     let (topo, ids) = fig1_topology();
     let mut tm = TrafficMatrix::zeros(topo.node_count());
     tm.set_demand(ids.s, ids.t, 1.0);
-    let (opt, _, exact) =
-        optimal_demand_scale(&topo, &tm, &FailureModel::links(1), ScenarioCoverage::Exhaustive);
+    let (opt, _, exact) = optimal_demand_scale(
+        &topo,
+        &tm,
+        &FailureModel::links(1),
+        ScenarioCoverage::Exhaustive,
+    );
     assert!(exact);
     assert_value("fig2 optimal f=1", opt, 2.0);
     let f3 = solve_ffc(&fig1_instance(3), &FailureModel::links(1), &opts());
@@ -47,8 +51,12 @@ fn fig2_double_failure_column() {
     let (topo, ids) = fig1_topology();
     let mut tm = TrafficMatrix::zeros(topo.node_count());
     tm.set_demand(ids.s, ids.t, 1.0);
-    let (opt, _, _) =
-        optimal_demand_scale(&topo, &tm, &FailureModel::links(2), ScenarioCoverage::Exhaustive);
+    let (opt, _, _) = optimal_demand_scale(
+        &topo,
+        &tm,
+        &FailureModel::links(2),
+        ScenarioCoverage::Exhaustive,
+    );
     assert_value("fig2 optimal f=2", opt, 1.0);
     let f3 = solve_ffc(&fig1_instance(3), &FailureModel::links(2), &opts());
     assert_value("fig2 FFC-3 f=2", f3.objective, 0.5);
@@ -64,8 +72,12 @@ fn fig3_optimal_vs_ffc() {
     let (topo, ids, _, _) = fig3_topology();
     let mut tm = TrafficMatrix::zeros(topo.node_count());
     tm.set_demand(ids.s, ids.t, 1.0);
-    let (opt, _, _) =
-        optimal_demand_scale(&topo, &tm, &FailureModel::links(1), ScenarioCoverage::Exhaustive);
+    let (opt, _, _) = optimal_demand_scale(
+        &topo,
+        &tm,
+        &FailureModel::links(1),
+        ScenarioCoverage::Exhaustive,
+    );
     assert_value("fig3 optimal", opt, 2.0 / 3.0);
     let ffc = solve_ffc(&fig3_instance(), &FailureModel::links(1), &opts());
     assert_value("fig3 FFC", ffc.objective, 0.5);

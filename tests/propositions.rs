@@ -102,8 +102,8 @@ fn prop3_pcf_tf_gap_grows_on_fig4_family() {
         let m = 2;
         let (topo, nodes) = fig4_topology(p, n, m);
         // All p * n tunnels.
-        let mut b = InstanceBuilder::with_demands(&topo, vec![(nodes[0], nodes[m], 1.0)])
-            .no_auto_tunnels();
+        let mut b =
+            InstanceBuilder::with_demands(&topo, vec![(nodes[0], nodes[m], 1.0)]).no_auto_tunnels();
         for l0 in topo.links().filter(|&l| topo.link(l).touches(nodes[0])) {
             for l1 in topo
                 .links()
