@@ -53,7 +53,7 @@ fn bench_linear_system_vs_lp(c: &mut Harness) {
         .collect();
     let mut dead = vec![false; topo.link_count()];
     dead[0] = true;
-    let state = FailureState::new(&inst, &dead);
+    let state = FailureState::new(&inst, &dead).expect("mask matches topology");
 
     let mut g = c.benchmark_group("online_response");
     g.bench_function("linear_system_routing", |b| {

@@ -4,6 +4,7 @@
 //! pcf solve    --topology GEANT --scheme pcf-ls --f 1 [--tunnels 3] [--seed 1]
 //! pcf solve    --gml net.gml --scheme pcf-tf --f 2
 //! pcf audit    --topology B4 --scheme pcf-ls --f 1       # validate all scenarios
+//! pcf replay   --topology Sprint --f 2 --events 1000      # stream link churn
 //! pcf augment  --topology IBM --f 1 --target 1.2          # capacity to reach z*
 //! pcf topology --topology Deltacom                        # inspect a topology
 //! ```
@@ -21,6 +22,7 @@ use pcf_core::{
     augment_capacity, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
     solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions, RobustSolution,
 };
+use pcf_replay::{replay_batch, EventTrace, ReplayOptions};
 use pcf_topology::Topology;
 use pcf_traffic::{gravity, TrafficMatrix};
 
@@ -35,6 +37,11 @@ const FLAGS: &[&str] = &[
     "target",
     "max-pairs",
     "threads",
+    "trace",
+    "events",
+    "traces",
+    "cache",
+    "json",
 ];
 
 fn main() {
@@ -61,6 +68,7 @@ fn usage() {
          commands:\n\
          \x20 solve     compute a congestion-free allocation\n\
          \x20 audit     solve, then validate every targeted failure scenario\n\
+         \x20 replay    solve, then stream link up/down events through the plan\n\
          \x20 augment   cheapest capacity additions to reach --target demand scale\n\
          \x20 topology  print a topology summary\n\
          \n\
@@ -75,7 +83,12 @@ fn usage() {
          \x20 --max-pairs <n>     keep only the n heaviest demands       (default 200)\n\
          \x20 --threads <n>       separation worker threads; 0 = all available cores\n\
          \x20                     (default 0)\n\
-         \x20 --target <z>        (augment) demand scale to guarantee"
+         \x20 --target <z>        (augment) demand scale to guarantee\n\
+         \x20 --trace <path>      (replay) scripted trace file (`down <l>` / `up <l>` lines)\n\
+         \x20 --events <n>        (replay) generate an n-event flap trace    (default 1000)\n\
+         \x20 --traces <n>        (replay) replay n generated traces in parallel (default 1)\n\
+         \x20 --cache <n>         (replay) retained factorizations; 0 = cold (default 1024)\n\
+         \x20 --json <path>       (replay) also write the report as JSON"
     );
 }
 
@@ -103,8 +116,9 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let fm = FailureModel::links(f);
             let report = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
             println!(
-                "audit: {} scenarios, max utilization {:.4} -> {}",
+                "audit: {} scenarios ({} distinct states), max utilization {:.4} -> {}",
                 report.scenarios,
+                report.distinct_states,
                 report.max_utilization,
                 if report.congestion_free() {
                     "CONGESTION-FREE"
@@ -112,7 +126,84 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     "VIOLATIONS FOUND"
                 }
             );
+            for hot in &report.top_arcs {
+                let arc = pcf_topology::ArcId(hot.arc as u32);
+                println!(
+                    "  hotspot arc {} ({} -> {}): peak utilization {:.4}",
+                    hot.arc,
+                    topo.node_name(topo.arc_src(arc)),
+                    topo.node_name(topo.arc_dst(arc)),
+                    hot.utilization
+                );
+            }
             if !report.congestion_free() {
+                std::process::exit(1);
+            }
+            Ok(())
+        }
+        "replay" => {
+            let f = args.get_or("f", 1usize)?;
+            let (inst, sol, scheme) = solve(&args, &topo)?;
+            report(&topo, &inst, &sol, &scheme);
+            let served: Vec<f64> = inst
+                .pair_ids()
+                .map(|p| sol.z[p.0] * inst.demand(p))
+                .collect();
+            let seed = args.get_or("seed", 1u64)?;
+            let traces: Vec<EventTrace> = match args.get("trace") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    vec![EventTrace::parse(path, &text)?]
+                }
+                None => {
+                    let events = args.get_or("events", 1000usize)?;
+                    let n = args.get_or("traces", 1usize)?;
+                    (0..n as u64)
+                        .map(|i| EventTrace::flaps(&topo, events, f, seed.wrapping_add(i)))
+                        .collect()
+                }
+            };
+            let opts = ReplayOptions {
+                cache_capacity: args.get_or("cache", 1024usize)?,
+                threads: args.get_or("threads", 0usize)?,
+                ..ReplayOptions::default()
+            };
+            let t0 = std::time::Instant::now();
+            let rep = replay_batch(&inst, &sol.a, &sol.b, &served, &traces, &opts);
+            let secs = t0.elapsed().as_secs_f64();
+            println!(
+                "replay: {} events over {} trace(s): {:.0} events/s, max utilization {:.4} -> {}",
+                rep.events,
+                traces.len(),
+                rep.events as f64 / secs.max(1e-9),
+                rep.max_utilization,
+                if rep.congestion_free() {
+                    "CONGESTION-FREE"
+                } else {
+                    "VIOLATIONS FOUND"
+                }
+            );
+            println!(
+                "  realization latency p50/p99: {}/{} us; cache hits {} misses {} \
+                 evictions {} (hit rate {:.1}%)",
+                rep.latency.p50_ns() / 1_000,
+                rep.latency.p99_ns() / 1_000,
+                rep.cache.hits,
+                rep.cache.misses,
+                rep.cache.evictions,
+                100.0 * rep.cache.hit_rate()
+            );
+            for v in rep.violations.iter().take(5) {
+                println!(
+                    "  violation: trace {} event {}: {:?}",
+                    v.trace, v.event, v.kind
+                );
+            }
+            if let Some(path) = args.get("json") {
+                std::fs::write(path, rep.to_json())?;
+                println!("  report written to {path}");
+            }
+            if !rep.congestion_free() {
                 std::process::exit(1);
             }
             Ok(())

@@ -35,12 +35,15 @@ pub use optimal::{
 };
 pub use r3::{solve_generalized_r3, solve_r3, R3Solution};
 pub use realize::{
-    greedy_topsort, proportional_routing, realize_routing, reservation_matrix, topological_order,
-    FailureState, Routing,
+    absolute_tolerance, check_utilizations, expand_routing, greedy_topsort, live_pairs,
+    proportional_routing, realize_routing, reservation_matrix, topological_order, FailureState,
+    RealizeError, Routing,
 };
 pub use robust::{solve_robust, AdversaryKind, RobustOptions, RobustSolution};
 pub use scale::scale_to_mlu;
 pub use schemes::{
     pcf_ls_instance, solve_ffc, solve_pcf_cls, solve_pcf_ls, solve_pcf_tf, tunnel_instance,
 };
-pub use validate::{validate_all, validate_scenarios, ValidationReport};
+pub use validate::{
+    validate_all, validate_scenarios, ArcHotspot, ValidationReport, Violation, ViolationKind,
+};

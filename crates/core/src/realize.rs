@@ -7,7 +7,10 @@
 //! * [`reservation_matrix`] — the matrix `M` over the pairs of interest
 //!   (Proposition 5: an invertible M-matrix);
 //! * [`realize_routing`] — solves `M × U = D` (one linear system, not an
-//!   LP) and expands reservations into per-arc loads (Proposition 6);
+//!   LP) and expands reservations into per-arc loads (Proposition 6); its
+//!   building blocks ([`live_pairs`], [`check_utilizations`],
+//!   [`expand_routing`]) are public so `pcf-replay` can cache the matrix
+//!   factorization across repeated failure states;
 //! * [`proportional_routing`] — the distributed alternative for
 //!   topologically sorted LSs (Proposition 7), identical to FFC's local
 //!   rescaling;
@@ -32,8 +35,16 @@ pub struct FailureState {
 
 impl FailureState {
     /// Evaluates liveness/activation for a dead-link mask.
-    pub fn new(inst: &Instance, dead: &[bool]) -> Self {
-        assert_eq!(dead.len(), inst.topo().link_count());
+    ///
+    /// Errors with [`RealizeError::MaskLengthMismatch`] when the mask does
+    /// not cover exactly the topology's links.
+    pub fn new(inst: &Instance, dead: &[bool]) -> Result<Self, RealizeError> {
+        if dead.len() != inst.topo().link_count() {
+            return Err(RealizeError::MaskLengthMismatch {
+                expected: inst.topo().link_count(),
+                got: dead.len(),
+            });
+        }
         let tunnel_alive = inst
             .tunnel_ids()
             .map(|l| inst.tunnel(l).links.iter().all(|e| !dead[e.index()]))
@@ -42,11 +53,29 @@ impl FailureState {
             .ls_ids()
             .map(|q| inst.ls(q).condition.holds(dead))
             .collect();
-        FailureState {
+        Ok(FailureState {
             dead: dead.to_vec(),
             tunnel_alive,
             ls_active,
+        })
+    }
+
+    /// Packs tunnel liveness and LS activation into a compact bit
+    /// signature. Two states with equal signatures realize identical
+    /// routings for the same allocation: the realization only reads the
+    /// dead-link mask through these two vectors.
+    pub fn liveness_signature(&self) -> Vec<u64> {
+        let bits = self.tunnel_alive.len() + self.ls_active.len();
+        let mut sig = vec![0u64; bits.div_ceil(64).max(1)];
+        for (i, &alive) in self
+            .tunnel_alive
+            .iter()
+            .chain(self.ls_active.iter())
+            .enumerate()
+        {
+            sig[i >> 6] |= (alive as u64) << (i & 63);
         }
+        sig
     }
 
     /// Live tunnels of a pair.
@@ -89,6 +118,13 @@ impl FailureState {
 /// Error from routing realization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RealizeError {
+    /// The dead-link mask does not cover exactly the topology's links.
+    MaskLengthMismatch {
+        /// Links in the topology.
+        expected: usize,
+        /// Entries in the supplied mask.
+        got: usize,
+    },
     /// The reservation matrix was singular (allocation does not satisfy the
     /// paper's feasibility conditions).
     SingularMatrix,
@@ -107,6 +143,12 @@ pub enum RealizeError {
 impl std::fmt::Display for RealizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RealizeError::MaskLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "dead-link mask has {got} entries, topology has {expected} links"
+                )
+            }
             RealizeError::SingularMatrix => write!(f, "singular reservation matrix"),
             RealizeError::UtilizationOutOfRange { pair, u } => {
                 write!(f, "utilization {u} out of [0,1] for pair {pair:?}")
@@ -219,8 +261,51 @@ impl Routing {
     }
 }
 
-/// Expands per-pair utilizations into tunnel flows and arc loads.
-fn expand_loads(
+/// The absolute feasibility tolerance the realization uses: the caller's
+/// relative `tol` scaled by total served demand.
+pub fn absolute_tolerance(served: &[f64], tol: f64) -> f64 {
+    tol * (1.0 + served.iter().sum::<f64>())
+}
+
+/// The pairs the linear system is actually solved over: the
+/// [`pairs_of_interest`] that hold a live reservation.
+///
+/// A pair whose reservation AND whole load (demand plus worst-case
+/// obligations) are both at noise level is dropped; a pair with meaningful
+/// load and no reservation is a genuine violation
+/// ([`RealizeError::NoReservation`]). Exposed so the replay engine can
+/// rebuild the exact system [`realize_routing`] would solve and cache its
+/// factorization.
+pub fn live_pairs(
+    inst: &Instance,
+    state: &FailureState,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    tol_abs: f64,
+) -> Result<Vec<PairId>, RealizeError> {
+    let pairs = pairs_of_interest(inst, state, served, b, tol_abs);
+    let mut keep = Vec::with_capacity(pairs.len());
+    for &p in &pairs {
+        let live: f64 = state.live_tunnels(inst, p).map(|l| a[l.0]).sum::<f64>()
+            + state.active_lss(inst, p).map(|q| b[q.0]).sum::<f64>();
+        if live <= tol_abs {
+            let load_bound: f64 =
+                served[p.0] + state.active_segments(inst, p).map(|q| b[q.0]).sum::<f64>();
+            if load_bound > 10.0 * tol_abs {
+                return Err(RealizeError::NoReservation(p));
+            }
+        } else {
+            keep.push(p);
+        }
+    }
+    Ok(keep)
+}
+
+/// Expands per-pair utilizations into tunnel flows and arc loads
+/// (Proposition 6's load accounting). Public so the replay engine can turn
+/// cache-served solutions into full routings.
+pub fn expand_routing(
     inst: &Instance,
     state: &FailureState,
     a: &[f64],
@@ -268,35 +353,8 @@ pub fn realize_routing(
     served: &[f64],
     tol: f64,
 ) -> Result<Routing, RealizeError> {
-    let tol_abs = tol * (1.0 + served.iter().sum::<f64>());
-    let mut pairs = pairs_of_interest(inst, state, served, b, tol_abs);
-    if pairs.is_empty() {
-        return Ok(Routing {
-            pairs,
-            u: Vec::new(),
-            tunnel_flow: vec![0.0; inst.num_tunnels()],
-            arc_loads: vec![0.0; inst.topo().arc_count()],
-        });
-    }
-    // Every interesting pair needs a live reservation. A pair whose
-    // reservation AND whole load (demand plus worst-case obligations) are
-    // both at noise level is dropped; a pair with meaningful load and no
-    // reservation is a genuine violation.
-    let mut keep = Vec::with_capacity(pairs.len());
-    for &p in &pairs {
-        let live: f64 = state.live_tunnels(inst, p).map(|l| a[l.0]).sum::<f64>()
-            + state.active_lss(inst, p).map(|q| b[q.0]).sum::<f64>();
-        if live <= tol_abs {
-            let load_bound: f64 =
-                served[p.0] + state.active_segments(inst, p).map(|q| b[q.0]).sum::<f64>();
-            if load_bound > 10.0 * tol_abs {
-                return Err(RealizeError::NoReservation(p));
-            }
-        } else {
-            keep.push(p);
-        }
-    }
-    pairs = keep;
+    let tol_abs = absolute_tolerance(served, tol);
+    let pairs = live_pairs(inst, state, a, b, served, tol_abs)?;
     if pairs.is_empty() {
         return Ok(Routing {
             pairs,
@@ -308,14 +366,26 @@ pub fn realize_routing(
     let m = reservation_matrix(inst, state, a, b, &pairs);
     let d: Vec<f64> = pairs.iter().map(|&p| served[p.0]).collect();
     let u = solve_dense(&m, &[d]).map_err(|_| RealizeError::SingularMatrix)?;
-    let mut u = u.into_iter().next().expect("one rhs");
+    let u = u.into_iter().next().expect("one rhs");
+    let u = check_utilizations(&pairs, u, tol)?;
+    Ok(expand_routing(inst, state, a, &pairs, &u))
+}
+
+/// Range-checks and clamps the solved utilization fractions (`U ∈ [0,1]`
+/// within `tol`). Shared by the from-scratch and cached realization paths
+/// so both reject exactly the same solutions.
+pub fn check_utilizations(
+    pairs: &[PairId],
+    mut u: Vec<f64>,
+    tol: f64,
+) -> Result<Vec<f64>, RealizeError> {
     for (i, &p) in pairs.iter().enumerate() {
         if u[i] < -tol || u[i] > 1.0 + tol {
             return Err(RealizeError::UtilizationOutOfRange { pair: p, u: u[i] });
         }
         u[i] = u[i].clamp(0.0, 1.0);
     }
-    Ok(expand_loads(inst, state, a, &pairs, &u))
+    Ok(u)
 }
 
 /// A strict partial order check: pairs can be topologically sorted w.r.t.
@@ -425,7 +495,7 @@ pub fn proportional_routing(
     served: &[f64],
     tol: f64,
 ) -> Result<Routing, RealizeError> {
-    let tol_abs = tol * (1.0 + served.iter().sum::<f64>());
+    let tol_abs = absolute_tolerance(served, tol);
     let order = topological_order(inst, b).ok_or(RealizeError::SingularMatrix)?;
     let pairs = pairs_of_interest(inst, state, served, b, tol_abs);
     let in_p = {
@@ -469,7 +539,7 @@ pub fn proportional_routing(
         }
     }
     let u: Vec<f64> = pairs.iter().map(|&p| u_all[p.0]).collect();
-    Ok(expand_loads(inst, state, a, &pairs, &u))
+    Ok(expand_routing(inst, state, a, &pairs, &u))
 }
 
 #[cfg(test)]
@@ -512,7 +582,7 @@ mod tests {
             &RobustOptions::default(),
         );
         let dead = vec![false; 4];
-        let state = FailureState::new(&inst, &dead);
+        let state = FailureState::new(&inst, &dead).unwrap();
         let routing =
             realize_routing(&inst, &state, &sol.a, &sol.b, &served(&inst, &sol), 1e-7).unwrap();
         // Demand scale 1, reservations total >= 1; all u in [0,1]; no arc
@@ -536,7 +606,7 @@ mod tests {
         );
         let mut dead = vec![false; 4];
         dead[0] = true; // kill one path
-        let state = FailureState::new(&inst, &dead);
+        let state = FailureState::new(&inst, &dead).unwrap();
         let routing =
             realize_routing(&inst, &state, &sol.a, &sol.b, &served(&inst, &sol), 1e-7).unwrap();
         assert!(routing.max_utilization(&inst) <= 1.0 + 1e-7);
@@ -564,7 +634,7 @@ mod tests {
         assert!(sol.objective > 0.5);
         let sv = served(&inst, &sol);
         for mask in fm.enumerate_scenarios(inst.topo()) {
-            let state = FailureState::new(&inst, &mask);
+            let state = FailureState::new(&inst, &mask).unwrap();
             let lin = realize_routing(&inst, &state, &sol.a, &sol.b, &sv, 1e-6).unwrap();
             let prop = proportional_routing(&inst, &state, &sol.a, &sol.b, &sv, 1e-6).unwrap();
             assert!(lin.max_utilization(&inst) <= 1.0 + 1e-6);
@@ -630,12 +700,51 @@ mod tests {
         let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
             .add_ls(ls)
             .build();
-        let no_fail = FailureState::new(&inst, &[false; 4]);
+        let no_fail = FailureState::new(&inst, &[false; 4]).unwrap();
         assert!(!no_fail.ls_active[0]);
         let mut dead = vec![false; 4];
         dead[0] = true;
-        let failed = FailureState::new(&inst, &dead);
+        let failed = FailureState::new(&inst, &dead).unwrap();
         assert!(failed.ls_active[0]);
+    }
+
+    #[test]
+    fn mask_length_mismatch_is_a_structured_error() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        // 3 entries for a 4-link topology.
+        let err = FailureState::new(&inst, &[false; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            RealizeError::MaskLengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("3 entries"));
+        assert!(FailureState::new(&inst, &[false; 4]).is_ok());
+    }
+
+    #[test]
+    fn liveness_signature_distinguishes_states() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let alive = FailureState::new(&inst, &[false; 4]).unwrap();
+        let mut dead = vec![false; 4];
+        dead[0] = true;
+        let failed = FailureState::new(&inst, &dead).unwrap();
+        assert_ne!(alive.liveness_signature(), failed.liveness_signature());
+        // Equal states, equal signatures.
+        assert_eq!(
+            failed.liveness_signature(),
+            FailureState::new(&inst, &dead)
+                .unwrap()
+                .liveness_signature()
+        );
     }
 
     #[test]
@@ -645,7 +754,7 @@ mod tests {
             .tunnels_per_pair(2)
             .build();
         // No reservations at all but positive served demand.
-        let state = FailureState::new(&inst, &[false; 4]);
+        let state = FailureState::new(&inst, &[false; 4]).unwrap();
         let a = vec![0.0; inst.num_tunnels()];
         let err = realize_routing(&inst, &state, &a, &[], &[1.0], 1e-7).unwrap_err();
         assert!(matches!(err, RealizeError::NoReservation(_)));
@@ -664,7 +773,7 @@ mod fig6_tests {
     fn fig7_matrix_and_fig6b_routing() {
         let (inst, ids) = fig6_instance();
         let no_fail = vec![false; inst.topo().link_count()];
-        let state = FailureState::new(&inst, &no_fail);
+        let state = FailureState::new(&inst, &no_fail).unwrap();
         let a = vec![1.0; inst.num_tunnels()];
         let b = vec![1.0; inst.num_lss()];
         // Pairs of interest: AB (demand) plus the LS segments AC, CD, AD, DB.

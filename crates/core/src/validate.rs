@@ -9,27 +9,52 @@
 //! 2. no directed arc carries more than its capacity, and
 //! 3. every pair's admitted demand is delivered.
 //!
+//! Distinct dead-link masks frequently collapse to the same routing: the
+//! realization reads the mask only through tunnel liveness and LS
+//! activation, so masks with equal [`FailureState::liveness_signature`]s
+//! are realized once and the solution shared (common on sparse topologies
+//! where many links carry no tunnel of interest).
+//!
 //! Used heavily by the integration and property tests; also useful as an
 //! operator-facing audit tool.
 
 use crate::failure::FailureModel;
 use crate::instance::Instance;
 use crate::realize::{realize_routing, FailureState, RealizeError};
+use std::collections::HashMap;
+
+/// How many hotspot arcs a [`ValidationReport`] retains.
+const TOP_ARCS: usize = 5;
 
 /// Outcome of validating one allocation over a scenario set.
 #[derive(Debug, Clone)]
 pub struct ValidationReport {
     /// Scenarios checked.
     pub scenarios: usize,
+    /// Distinct liveness signatures actually realized; the remaining
+    /// `scenarios - distinct_states` masks reused a previous solution.
+    pub distinct_states: usize,
     /// Highest arc utilization observed across all scenarios.
     pub max_utilization: f64,
+    /// The most-utilized arcs across all scenarios, highest first (up to 5
+    /// entries; each arc's utilization is its worst over the scenario set).
+    pub top_arcs: Vec<ArcHotspot>,
     /// Scenarios where realization failed or a constraint was violated,
     /// with the dead-link mask attached.
     pub violations: Vec<Violation>,
 }
 
+/// One arc's worst-case utilization over a validated scenario set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcHotspot {
+    /// Directed arc index.
+    pub arc: usize,
+    /// Peak load / capacity over all scenarios.
+    pub utilization: f64,
+}
+
 /// One failed scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
     /// The dead-link mask of the offending scenario.
     pub dead: Vec<bool>,
@@ -38,7 +63,7 @@ pub struct Violation {
 }
 
 /// Failure modes the validator distinguishes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ViolationKind {
     /// The routing could not be realized at all.
     Realize(RealizeError),
@@ -64,6 +89,8 @@ impl ValidationReport {
 /// Validates an allocation `(a, b, served)` over every scenario in `masks`.
 ///
 /// `served[p] = z_p * d_p`; `tol` is the relative feasibility tolerance.
+/// Masks with identical liveness signatures are realized once and share
+/// the solution; every mask still gets its own violation entries.
 pub fn validate_scenarios(
     inst: &Instance,
     a: &[f64],
@@ -73,18 +100,36 @@ pub fn validate_scenarios(
     tol: f64,
 ) -> ValidationReport {
     let topo = inst.topo();
-    let mut max_util: f64 = 0.0;
+    let mut arc_peak = vec![0.0f64; topo.arc_count()];
     let mut violations = Vec::new();
+    // Realized (or failed) routings keyed by liveness signature.
+    let mut by_signature: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut solved: Vec<Result<Vec<f64>, RealizeError>> = Vec::new();
     for mask in masks {
-        let state = FailureState::new(inst, mask);
-        match realize_routing(inst, &state, a, b, served, tol) {
+        let state = match FailureState::new(inst, mask) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(Violation {
+                    dead: mask.clone(),
+                    kind: ViolationKind::Realize(e),
+                });
+                continue;
+            }
+        };
+        let idx = *by_signature
+            .entry(state.liveness_signature())
+            .or_insert_with(|| {
+                solved.push(realize_routing(inst, &state, a, b, served, tol).map(|r| r.arc_loads));
+                solved.len() - 1
+            });
+        match &solved[idx] {
             Err(e) => violations.push(Violation {
                 dead: mask.clone(),
-                kind: ViolationKind::Realize(e),
+                kind: ViolationKind::Realize(e.clone()),
             }),
-            Ok(routing) => {
+            Ok(arc_loads) => {
                 for arc in topo.arcs() {
-                    let load = routing.arc_loads[arc.index()];
+                    let load = arc_loads[arc.index()];
                     let cap = topo.capacity(arc.link());
                     if load > cap * (1.0 + tol) + tol {
                         violations.push(Violation {
@@ -96,16 +141,37 @@ pub fn validate_scenarios(
                             },
                         });
                     }
-                    max_util = max_util.max(load / cap);
+                    arc_peak[arc.index()] = arc_peak[arc.index()].max(load / cap);
                 }
             }
         }
     }
     ValidationReport {
         scenarios: masks.len(),
-        max_utilization: max_util,
+        distinct_states: solved.len(),
+        max_utilization: arc_peak.iter().fold(0.0, |m, &u| m.max(u)),
+        top_arcs: top_hotspots(&arc_peak, TOP_ARCS),
         violations,
     }
+}
+
+/// The `k` busiest arcs by peak utilization, highest first (arcs that never
+/// carried traffic are skipped; ties break toward the lower arc index).
+fn top_hotspots(arc_peak: &[f64], k: usize) -> Vec<ArcHotspot> {
+    let mut hot: Vec<ArcHotspot> = arc_peak
+        .iter()
+        .enumerate()
+        .filter(|&(_, &u)| u > 0.0)
+        .map(|(arc, &utilization)| ArcHotspot { arc, utilization })
+        .collect();
+    hot.sort_by(|x, y| {
+        y.utilization
+            .partial_cmp(&x.utilization)
+            .expect("utilizations are finite")
+            .then(x.arc.cmp(&y.arc))
+    });
+    hot.truncate(k);
+    hot
 }
 
 /// Validates over every worst-cardinality scenario of the failure model.
@@ -166,6 +232,56 @@ mod tests {
         );
         assert!(report.max_utilization <= 1.0 + 1e-6);
         assert_eq!(report.scenarios, 4);
+    }
+
+    #[test]
+    fn equivalent_masks_collapse_to_one_solve() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(1);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        let report = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
+        assert_eq!(report.scenarios, 4);
+        // Each 2-hop tunnel dies with either of its two links, so the four
+        // single-link masks collapse to two distinct liveness states.
+        assert_eq!(report.distinct_states, 2);
+    }
+
+    #[test]
+    fn hotspots_are_ranked_and_consistent() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(1);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        let report = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
+        assert!(!report.top_arcs.is_empty());
+        assert!(report.top_arcs.len() <= 5);
+        assert_eq!(report.top_arcs[0].utilization, report.max_utilization);
+        for w in report.top_arcs.windows(2) {
+            assert!(w[0].utilization >= w[1].utilization, "hotspots unsorted");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod simplex;
 pub mod write;
 
 pub use incremental::{IncrementalLp, IncrementalStats};
-pub use linsys::{solve_dense, solve_gauss_seidel, DenseMatrix, LinSysError};
+pub use linsys::{lu_factor, solve_dense, solve_gauss_seidel, DenseMatrix, LinSysError, LuFactors};
 pub use model::{LpProblem, RowId, Sense, Solution, SolveError, Status, VarId};
 pub use simplex::SimplexOptions;
 pub use write::to_lp_format;

@@ -1,0 +1,441 @@
+//! The replay engine: incremental failure tracking plus a factorization
+//! cache.
+//!
+//! [`ReplayEngine`] holds a solved allocation and a mutable link-liveness
+//! state. Each [`LinkEvent`](crate::LinkEvent) updates the state
+//! *incrementally* — per-tunnel dead-link counters and per-link condition
+//! indexes make an event O(tunnels and LSs touching that link) instead of
+//! O(instance) — and [`ReplayEngine::realize`] turns the current state
+//! into a routing.
+//!
+//! Realization reads the failure state only through its liveness signature
+//! (which tunnels are alive, which LSs are active), so repeated states can
+//! share the expensive part of the linear solve: the engine caches the LU
+//! factorization of the reservation matrix keyed by
+//! [`FailureState::liveness_signature`]. A cache hit replaces the O(n³)
+//! factorization with an O(n²) triangular solve; the numerical path is the
+//! *same code* [`realize_routing`] runs (factor, solve, range-check,
+//! expand), so cached and cold results are bit-identical.
+
+use crate::trace::{EventKind, LinkEvent};
+use pcf_core::{
+    absolute_tolerance, check_utilizations, expand_routing, live_pairs, realize_routing,
+    reservation_matrix, Condition, FailureState, Instance, LsId, PairId, RealizeError, Routing,
+    TunnelId,
+};
+use pcf_lp::{lu_factor, LuFactors};
+use std::collections::{HashMap, VecDeque};
+
+/// Hit/miss/eviction counters of the factorization cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Realizations served from a cached factorization.
+    pub hits: u64,
+    /// Realizations that had to factor from scratch (cold mode counts every
+    /// realization here).
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of realizations served from cache (0 when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another engine's counters (batch aggregation).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// What a cache entry remembers about one liveness signature: the solved
+/// pair order and the LU factors of its reservation matrix (`None` when
+/// there are no pairs of interest), or the structural error realization
+/// hit.
+enum Solved {
+    Empty,
+    Factored { pairs: Vec<PairId>, lu: LuFactors },
+}
+
+type CacheEntry = Result<Solved, RealizeError>;
+
+/// Insertion-order (FIFO) bounded map from liveness signature to solve
+/// state.
+struct FactorCache {
+    capacity: usize,
+    entries: HashMap<Vec<u64>, CacheEntry>,
+    order: VecDeque<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl FactorCache {
+    fn new(capacity: usize) -> Self {
+        FactorCache {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the entry for `sig`, computing and inserting it on a miss
+    /// (evicting the oldest signature when full).
+    fn lookup_or_insert(
+        &mut self,
+        sig: Vec<u64>,
+        compute: impl FnOnce() -> CacheEntry,
+    ) -> &CacheEntry {
+        if self.entries.contains_key(&sig) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.entries.len() >= self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                    self.stats.evictions += 1;
+                }
+            }
+            self.order.push_back(sig.clone());
+            self.entries.insert(sig.clone(), compute());
+        }
+        &self.entries[&sig]
+    }
+}
+
+/// A streaming failure-replay engine over one solved allocation.
+///
+/// Borrows the instance and the plan (`a`, `b`, `served`); owns the
+/// evolving failure state and the factorization cache. Create one per
+/// trace — replaying a second trace on a warm engine is legal but its
+/// state continues from wherever the first trace left the network.
+pub struct ReplayEngine<'a> {
+    inst: &'a Instance,
+    a: &'a [f64],
+    b: &'a [f64],
+    served: &'a [f64],
+    tol: f64,
+    // Incrementally maintained failure state (kept materialized so
+    // realization never has to rebuild or clone it).
+    fs: FailureState,
+    // `fs.liveness_signature()`, maintained bit-by-bit as events flip
+    // liveness flags, so a cache lookup never rescans every tunnel/LS.
+    sig: Vec<u64>,
+    dead_links: usize,
+    tunnel_dead_links: Vec<u32>,
+    // Link -> affected entities, precomputed once.
+    tunnels_on_link: Vec<Vec<TunnelId>>,
+    lss_on_link: Vec<Vec<LsId>>,
+    cache: Option<FactorCache>,
+    cold_stats: CacheStats,
+}
+
+impl<'a> ReplayEngine<'a> {
+    /// Builds an engine over an all-alive network.
+    ///
+    /// `cache_capacity` bounds the number of retained factorizations;
+    /// `0` disables the cache entirely (every realization factors from
+    /// scratch — the baseline the cache is measured against).
+    pub fn new(
+        inst: &'a Instance,
+        a: &'a [f64],
+        b: &'a [f64],
+        served: &'a [f64],
+        tol: f64,
+        cache_capacity: usize,
+    ) -> Self {
+        let links = inst.topo().link_count();
+        let mut tunnels_on_link: Vec<Vec<TunnelId>> = vec![Vec::new(); links];
+        for l in inst.tunnel_ids() {
+            for &e in &inst.tunnel(l).links {
+                tunnels_on_link[e.index()].push(l);
+            }
+        }
+        let mut lss_on_link: Vec<Vec<LsId>> = vec![Vec::new(); links];
+        for q in inst.ls_ids() {
+            for e in condition_links(&inst.ls(q).condition) {
+                lss_on_link[e].push(q);
+            }
+        }
+        let no_fail = vec![false; links];
+        let fs = FailureState {
+            tunnel_alive: vec![true; inst.num_tunnels()],
+            ls_active: inst
+                .ls_ids()
+                .map(|q| inst.ls(q).condition.holds(&no_fail))
+                .collect(),
+            dead: no_fail,
+        };
+        let sig = fs.liveness_signature();
+        ReplayEngine {
+            inst,
+            a,
+            b,
+            served,
+            tol,
+            fs,
+            sig,
+            dead_links: 0,
+            tunnel_dead_links: vec![0; inst.num_tunnels()],
+            tunnels_on_link,
+            lss_on_link,
+            cache: (cache_capacity > 0).then(|| FactorCache::new(cache_capacity)),
+            cold_stats: CacheStats::default(),
+        }
+    }
+
+    /// Applies one link event. Idempotent events (down while down, up while
+    /// up) are no-ops; out-of-range links are rejected.
+    pub fn apply(&mut self, event: &LinkEvent) -> Result<(), RealizeError> {
+        let e = event.link.index();
+        if e >= self.fs.dead.len() {
+            return Err(RealizeError::MaskLengthMismatch {
+                expected: self.fs.dead.len(),
+                got: e + 1,
+            });
+        }
+        let goes_down = match event.kind {
+            EventKind::Down => {
+                if self.fs.dead[e] {
+                    return Ok(());
+                }
+                true
+            }
+            EventKind::Up => {
+                if !self.fs.dead[e] {
+                    return Ok(());
+                }
+                false
+            }
+        };
+        self.fs.dead[e] = goes_down;
+        if goes_down {
+            self.dead_links += 1;
+        } else {
+            self.dead_links -= 1;
+        }
+        for &l in &self.tunnels_on_link[e] {
+            if goes_down {
+                self.tunnel_dead_links[l.0] += 1;
+            } else {
+                self.tunnel_dead_links[l.0] -= 1;
+            }
+            let alive = self.tunnel_dead_links[l.0] == 0;
+            if alive != self.fs.tunnel_alive[l.0] {
+                self.sig[l.0 >> 6] ^= 1 << (l.0 & 63);
+            }
+            self.fs.tunnel_alive[l.0] = alive;
+        }
+        let tunnel_bits = self.inst.num_tunnels();
+        for &q in &self.lss_on_link[e] {
+            let active = self.inst.ls(q).condition.holds(&self.fs.dead);
+            if active != self.fs.ls_active[q.0] {
+                let bit = tunnel_bits + q.0;
+                self.sig[bit >> 6] ^= 1 << (bit & 63);
+            }
+            self.fs.ls_active[q.0] = active;
+        }
+        debug_assert_eq!(self.sig, self.fs.liveness_signature());
+        Ok(())
+    }
+
+    /// Number of currently dead links.
+    pub fn dead_links(&self) -> usize {
+        self.dead_links
+    }
+
+    /// The current state as a [`FailureState`] (a snapshot — further events
+    /// don't affect it). Equal, field for field, to
+    /// `FailureState::new(inst, &dead)` for the accumulated mask.
+    pub fn state(&self) -> FailureState {
+        self.fs.clone()
+    }
+
+    /// Realizes the routing for the current failure state.
+    ///
+    /// With the cache enabled, a previously seen liveness signature reuses
+    /// its stored LU factors (an O(n²) solve); a new signature pays the
+    /// full factorization once. Results — including errors — are identical
+    /// to calling [`realize_routing`] on [`ReplayEngine::state`].
+    pub fn realize(&mut self) -> Result<Routing, RealizeError> {
+        let state = &self.fs;
+        let Some(cache) = self.cache.as_mut() else {
+            self.cold_stats.misses += 1;
+            return realize_routing(self.inst, state, self.a, self.b, self.served, self.tol);
+        };
+        let (inst, a, b, served, tol) = (self.inst, self.a, self.b, self.served, self.tol);
+        let entry = cache.lookup_or_insert(self.sig.clone(), || {
+            let tol_abs = absolute_tolerance(served, tol);
+            let pairs = live_pairs(inst, state, a, b, served, tol_abs)?;
+            if pairs.is_empty() {
+                return Ok(Solved::Empty);
+            }
+            let m = reservation_matrix(inst, state, a, b, &pairs);
+            let lu = lu_factor(&m).map_err(|_| RealizeError::SingularMatrix)?;
+            Ok(Solved::Factored { pairs, lu })
+        });
+        match entry {
+            Err(e) => Err(e.clone()),
+            Ok(Solved::Empty) => Ok(Routing {
+                pairs: Vec::new(),
+                u: Vec::new(),
+                tunnel_flow: vec![0.0; inst.num_tunnels()],
+                arc_loads: vec![0.0; inst.topo().arc_count()],
+            }),
+            Ok(Solved::Factored { pairs, lu }) => {
+                let d: Vec<f64> = pairs.iter().map(|&p| served[p.0]).collect();
+                let u = lu.solve(&d);
+                let u = check_utilizations(pairs, u, tol)?;
+                Ok(expand_routing(inst, state, a, pairs, &u))
+            }
+        }
+    }
+
+    /// Cache counters so far (in cold mode: every realization is a miss).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.cache {
+            Some(c) => c.stats,
+            None => self.cold_stats,
+        }
+    }
+
+    /// Number of factorizations currently retained.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.entries.len())
+    }
+}
+
+/// The links a condition's truth value depends on.
+fn condition_links(c: &Condition) -> Vec<usize> {
+    match c {
+        Condition::Always => Vec::new(),
+        Condition::LinkDead(e) => vec![e.index()],
+        Condition::AliveDead { alive, dead } => {
+            alive.iter().chain(dead).map(|e| e.index()).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventTrace;
+    use pcf_core::{solve_pcf_ls, FailureModel, RobustOptions};
+    use pcf_topology::zoo;
+    use pcf_traffic::gravity;
+
+    fn sprint_plan() -> (Instance, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let topo = zoo::build("Sprint");
+        let tm = gravity(&topo, 11);
+        let inst = pcf_core::pcf_ls_instance(&topo, &tm, 3);
+        let sol = solve_pcf_ls(&inst, &FailureModel::links(1), &RobustOptions::default());
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        (inst, sol.a, sol.b, served)
+    }
+
+    #[test]
+    fn incremental_state_matches_from_scratch() {
+        let (inst, a, b, served) = sprint_plan();
+        let trace = EventTrace::flaps(inst.topo(), 200, 3, 9);
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 64);
+        let mut mask = vec![false; inst.topo().link_count()];
+        for ev in &trace.events {
+            engine.apply(ev).unwrap();
+            mask[ev.link.index()] = ev.kind == EventKind::Down;
+            let expect = FailureState::new(&inst, &mask).unwrap();
+            let got = engine.state();
+            assert_eq!(got.dead, expect.dead);
+            assert_eq!(got.tunnel_alive, expect.tunnel_alive);
+            assert_eq!(got.ls_active, expect.ls_active);
+        }
+    }
+
+    #[test]
+    fn cached_realization_is_bit_identical_to_cold() {
+        let (inst, a, b, served) = sprint_plan();
+        let trace = EventTrace::flaps(inst.topo(), 100, 1, 3);
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 64);
+        for ev in &trace.events {
+            engine.apply(ev).unwrap();
+            let cached = engine.realize();
+            let cold = realize_routing(&inst, &engine.state(), &a, &b, &served, 1e-6);
+            match (cached, cold) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.pairs, y.pairs);
+                    for (c, f) in x.u.iter().zip(&y.u) {
+                        assert_eq!(c.to_bits(), f.to_bits());
+                    }
+                    for (c, f) in x.arc_loads.iter().zip(&y.arc_loads) {
+                        assert_eq!(c.to_bits(), f.to_bits());
+                    }
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                (x, y) => panic!("cached {x:?} disagrees with cold {y:?}"),
+            }
+        }
+        let stats = engine.cache_stats();
+        assert!(stats.hits > 0, "repeat states must hit: {stats:?}");
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let (inst, a, b, served) = sprint_plan();
+        // Rolling maintenance visits every link: more signatures than the
+        // tiny cache holds.
+        let trace = EventTrace::rolling_maintenance(inst.topo(), 120, 5);
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 4);
+        for ev in &trace.events {
+            engine.apply(ev).unwrap();
+            engine.realize().unwrap();
+        }
+        assert!(engine.cached_entries() <= 4);
+        let stats = engine.cache_stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert_eq!(stats.hits + stats.misses, 120);
+    }
+
+    #[test]
+    fn out_of_range_event_is_rejected() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 4);
+        let bad = LinkEvent {
+            link: pcf_topology::LinkId(10_000),
+            kind: EventKind::Down,
+        };
+        assert!(matches!(
+            engine.apply(&bad),
+            Err(RealizeError::MaskLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn idempotent_events_are_noops() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 4);
+        let down = LinkEvent {
+            link: pcf_topology::LinkId(0),
+            kind: EventKind::Down,
+        };
+        engine.apply(&down).unwrap();
+        engine.apply(&down).unwrap();
+        assert_eq!(engine.dead_links(), 1);
+        let up = LinkEvent {
+            link: pcf_topology::LinkId(0),
+            kind: EventKind::Up,
+        };
+        engine.apply(&up).unwrap();
+        engine.apply(&up).unwrap();
+        assert_eq!(engine.dead_links(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Online failure replay for PCF plans.
+//!
+//! The offline validator (`pcf_core::validate`) asks "is this allocation
+//! safe over a scenario *set*?"; this crate asks the operational question:
+//! "as links fail and recover over time, what does the network actually
+//! do, and how fast can the response be computed?"
+//!
+//! * [`EventTrace`] — scripted or generated sequences of link up/down
+//!   events ([`trace`]);
+//! * [`ReplayEngine`] — incremental failure-state tracking plus an LU
+//!   factorization cache keyed by liveness signature, so repeated failure
+//!   states skip the O(n³) factor and pay only an O(n²) solve
+//!   ([`engine`]);
+//! * [`replay_trace`] / [`replay_batch`] — sequential and multi-threaded
+//!   replay drivers producing a [`ReplayReport`] (per-event utilization,
+//!   violation log, latency percentiles, cache counters) ([`report`]).
+//!
+//! Cached and cold replays run the same numerical code and produce
+//! bit-identical routings; the property tests in this crate hold the
+//! engine to that.
+
+pub mod engine;
+pub mod report;
+pub mod trace;
+
+pub use engine::{CacheStats, ReplayEngine};
+pub use report::{
+    replay_batch, replay_trace, LatencyHistogram, ReplayOptions, ReplayReport, ReplayViolation,
+};
+pub use trace::{EventKind, EventTrace, LinkEvent, TraceParseError};

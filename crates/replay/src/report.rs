@@ -1,0 +1,416 @@
+//! Replaying traces and aggregating the outcome.
+//!
+//! [`replay_trace`] drives a [`ReplayEngine`] through one
+//! [`EventTrace`], realizing the routing after every event and checking
+//! it the same way the offline validator does (utilization range, arc
+//! capacities). [`replay_batch`] replays many traces concurrently —
+//! one engine (and one cache) per trace, traces distributed over scoped
+//! threads exactly like the robust engine's separation workers — and
+//! merges the per-trace reports. Results are deterministic regardless of
+//! thread count: every trace is independent and reports merge in trace
+//! order.
+
+use crate::engine::{CacheStats, ReplayEngine};
+use crate::trace::EventTrace;
+use pcf_core::{Instance, ViolationKind};
+use std::time::Instant;
+
+/// Options for [`replay_trace`] / [`replay_batch`].
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Relative feasibility tolerance (same meaning as `realize_routing`).
+    pub tol: f64,
+    /// Retained factorizations per engine; `0` disables the cache (cold
+    /// baseline).
+    pub cache_capacity: usize,
+    /// Worker threads for [`replay_batch`]. `0` means "use
+    /// [`std::thread::available_parallelism`]"; `1` replays inline.
+    pub threads: usize,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            tol: 1e-6,
+            cache_capacity: 1024,
+            threads: 0,
+        }
+    }
+}
+
+/// One failed event during replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayViolation {
+    /// Index of the trace within the batch (0 for single-trace replays).
+    pub trace: usize,
+    /// Index of the offending event within its trace.
+    pub event: usize,
+    /// What went wrong (shared with the offline validator).
+    pub kind: ViolationKind,
+}
+
+/// Realization-latency distribution over the replayed events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Records one realization latency.
+    pub fn record(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// The q-th percentile (nearest-rank) in nanoseconds; 0 when empty.
+    /// `q` is clamped to `[0, 100]`.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.samples_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 100.0) / 100.0;
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(50.0)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(99.0)
+    }
+
+    /// Mean latency in nanoseconds; 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().map(|&n| n as f64).sum::<f64>() / self.samples_ns.len() as f64
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+}
+
+/// Outcome of replaying one trace (or, merged, a whole batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Per-event maximum arc utilization, in event order (batches
+    /// concatenate in trace order).
+    pub event_utilization: Vec<f64>,
+    /// Highest arc utilization over the whole replay.
+    pub max_utilization: f64,
+    /// Events whose realization failed or violated a capacity.
+    pub violations: Vec<ReplayViolation>,
+    /// Realization latencies.
+    pub latency: LatencyHistogram,
+    /// Factorization-cache counters (batches sum per-engine counters).
+    pub cache: CacheStats,
+}
+
+impl ReplayReport {
+    /// True when every event realized a feasible, congestion-free routing.
+    pub fn congestion_free(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges per-trace reports (in the given order) into one.
+    pub fn merge(reports: &[ReplayReport]) -> ReplayReport {
+        let mut out = ReplayReport {
+            events: 0,
+            event_utilization: Vec::new(),
+            max_utilization: 0.0,
+            violations: Vec::new(),
+            latency: LatencyHistogram::default(),
+            cache: CacheStats::default(),
+        };
+        for r in reports {
+            out.events += r.events;
+            out.event_utilization
+                .extend_from_slice(&r.event_utilization);
+            out.max_utilization = out.max_utilization.max(r.max_utilization);
+            out.violations.extend_from_slice(&r.violations);
+            out.latency.absorb(&r.latency);
+            out.cache.absorb(&r.cache);
+        }
+        out
+    }
+
+    /// Renders the report as a small JSON object (counts and summary
+    /// statistics, not the raw per-event data).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"events\": {},\n  \"max_utilization\": {:.6},\n  \"violations\": {},\n  \
+             \"latency_ns\": {{ \"p50\": {}, \"p99\": {}, \"mean\": {:.1} }},\n  \
+             \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }}\n}}\n",
+            self.events,
+            self.max_utilization,
+            self.violations.len(),
+            self.latency.p50_ns(),
+            self.latency.p99_ns(),
+            self.latency.mean_ns(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.hit_rate(),
+        )
+    }
+}
+
+/// Replays one trace on a fresh engine and reports the outcome.
+///
+/// `served[p] = z_p * d_p`, as everywhere in the realization API.
+pub fn replay_trace(
+    inst: &Instance,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    trace: &EventTrace,
+    opts: &ReplayOptions,
+) -> ReplayReport {
+    replay_indexed(inst, a, b, served, trace, opts, 0)
+}
+
+fn replay_indexed(
+    inst: &Instance,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    trace: &EventTrace,
+    opts: &ReplayOptions,
+    trace_idx: usize,
+) -> ReplayReport {
+    let topo = inst.topo();
+    let mut engine = ReplayEngine::new(inst, a, b, served, opts.tol, opts.cache_capacity);
+    let mut event_utilization = Vec::with_capacity(trace.len());
+    let mut max_utilization = 0.0f64;
+    let mut violations = Vec::new();
+    let mut latency = LatencyHistogram::default();
+    for (i, ev) in trace.events.iter().enumerate() {
+        if let Err(e) = engine.apply(ev) {
+            violations.push(ReplayViolation {
+                trace: trace_idx,
+                event: i,
+                kind: ViolationKind::Realize(e),
+            });
+            event_utilization.push(0.0);
+            continue;
+        }
+        let t0 = Instant::now();
+        let realized = engine.realize();
+        latency.record(t0.elapsed().as_nanos() as u64);
+        match realized {
+            Err(e) => {
+                violations.push(ReplayViolation {
+                    trace: trace_idx,
+                    event: i,
+                    kind: ViolationKind::Realize(e),
+                });
+                event_utilization.push(0.0);
+            }
+            Ok(routing) => {
+                let mut peak = 0.0f64;
+                for arc in topo.arcs() {
+                    let load = routing.arc_loads[arc.index()];
+                    let cap = topo.capacity(arc.link());
+                    if load > cap * (1.0 + opts.tol) + opts.tol {
+                        violations.push(ReplayViolation {
+                            trace: trace_idx,
+                            event: i,
+                            kind: ViolationKind::Overload {
+                                arc: arc.index(),
+                                load,
+                                capacity: cap,
+                            },
+                        });
+                    }
+                    peak = peak.max(load / cap);
+                }
+                event_utilization.push(peak);
+                max_utilization = max_utilization.max(peak);
+            }
+        }
+    }
+    ReplayReport {
+        events: trace.len(),
+        event_utilization,
+        max_utilization,
+        violations,
+        latency,
+        cache: engine.cache_stats(),
+    }
+}
+
+/// Replays every trace concurrently (one engine per trace, traces chunked
+/// over scoped threads) and merges the reports in trace order.
+pub fn replay_batch(
+    inst: &Instance,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    traces: &[EventTrace],
+    opts: &ReplayOptions,
+) -> ReplayReport {
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let nt = threads.max(1).min(traces.len().max(1));
+    if nt <= 1 {
+        let reports: Vec<ReplayReport> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| replay_indexed(inst, a, b, served, t, opts, i))
+            .collect();
+        return ReplayReport::merge(&reports);
+    }
+    let mut out: Vec<Option<ReplayReport>> = Vec::new();
+    out.resize_with(traces.len(), || None);
+    let chunk = traces.len().div_ceil(nt);
+    std::thread::scope(|s| {
+        for (ci, (ts, slots)) in traces.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+            s.spawn(move || {
+                for (j, (slot, t)) in slots.iter_mut().zip(ts).enumerate() {
+                    *slot = Some(replay_indexed(inst, a, b, served, t, opts, ci * chunk + j));
+                }
+            });
+        }
+    });
+    let reports: Vec<ReplayReport> = out
+        .into_iter()
+        .map(|r| r.expect("every trace replayed"))
+        .collect();
+    ReplayReport::merge(&reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcf_core::{pcf_ls_instance, solve_pcf_ls, FailureModel, RobustOptions};
+    use pcf_topology::zoo;
+    use pcf_traffic::gravity;
+
+    fn sprint_plan(f: usize) -> (Instance, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let topo = zoo::build("Sprint");
+        let tm = gravity(&topo, 11);
+        let inst = pcf_ls_instance(&topo, &tm, 3);
+        let sol = solve_pcf_ls(&inst, &FailureModel::links(f), &RobustOptions::default());
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        (inst, sol.a, sol.b, served)
+    }
+
+    #[test]
+    fn solved_plan_replays_violation_free() {
+        let (inst, a, b, served) = sprint_plan(1);
+        let trace = EventTrace::flaps(inst.topo(), 300, 1, 21);
+        let report = replay_trace(&inst, &a, &b, &served, &trace, &ReplayOptions::default());
+        assert_eq!(report.events, 300);
+        assert_eq!(report.event_utilization.len(), 300);
+        assert!(
+            report.congestion_free(),
+            "violations: {:?}",
+            &report.violations[..report.violations.len().min(3)]
+        );
+        assert!(report.max_utilization <= 1.0 + 1e-6);
+        assert!(report.cache.hit_rate() > 0.0);
+        assert_eq!(report.latency.len(), 300);
+    }
+
+    #[test]
+    fn overdriven_plan_reports_violations() {
+        let (inst, a, b, mut served) = sprint_plan(1);
+        // Demand far beyond what the plan reserved.
+        for s in &mut served {
+            *s *= 50.0;
+        }
+        let trace = EventTrace::flaps(inst.topo(), 50, 1, 21);
+        let report = replay_trace(&inst, &a, &b, &served, &trace, &ReplayOptions::default());
+        assert!(!report.congestion_free());
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_thread_counts() {
+        let (inst, a, b, served) = sprint_plan(1);
+        let traces: Vec<EventTrace> = (0..6)
+            .map(|s| EventTrace::flaps(inst.topo(), 60, 1, 100 + s))
+            .collect();
+        let run = |threads: usize| {
+            let opts = ReplayOptions {
+                threads,
+                ..ReplayOptions::default()
+            };
+            replay_batch(&inst, &a, &b, &served, &traces, &opts)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.events, 6 * 60);
+        assert_eq!(serial.events, parallel.events);
+        assert_eq!(serial.event_utilization, parallel.event_utilization);
+        assert_eq!(serial.violations, parallel.violations);
+        assert_eq!(serial.cache, parallel.cache);
+    }
+
+    #[test]
+    fn cold_and_cached_replays_agree_on_outcomes() {
+        let (inst, a, b, served) = sprint_plan(1);
+        let trace = EventTrace::flaps(inst.topo(), 120, 1, 77);
+        let cached = replay_trace(&inst, &a, &b, &served, &trace, &ReplayOptions::default());
+        let cold_opts = ReplayOptions {
+            cache_capacity: 0,
+            ..ReplayOptions::default()
+        };
+        let cold = replay_trace(&inst, &a, &b, &served, &trace, &cold_opts);
+        assert_eq!(cached.event_utilization, cold.event_utilization);
+        assert_eq!(cached.violations, cold.violations);
+        assert_eq!(cold.cache.hits, 0);
+        assert_eq!(cold.cache.misses, 120);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered() {
+        let mut h = LatencyHistogram::default();
+        for n in [5u64, 1, 9, 3, 7] {
+            h.record(n);
+        }
+        assert_eq!(h.p50_ns(), 5);
+        assert_eq!(h.p99_ns(), 9);
+        assert_eq!(h.percentile_ns(0.0), 1);
+        assert!((h.mean_ns() - 5.0).abs() < 1e-12);
+        assert_eq!(LatencyHistogram::default().p99_ns(), 0);
+    }
+
+    #[test]
+    fn json_summary_contains_the_headline_numbers() {
+        let (inst, a, b, served) = sprint_plan(1);
+        let trace = EventTrace::flaps(inst.topo(), 20, 1, 5);
+        let report = replay_trace(&inst, &a, &b, &served, &trace, &ReplayOptions::default());
+        let json = report.to_json();
+        assert!(json.contains("\"events\": 20"));
+        assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"p99\""));
+    }
+}

@@ -1,0 +1,357 @@
+//! Event traces: scripted or generated sequences of link up/down events.
+//!
+//! A trace is what the replay engine consumes — an ordered list of
+//! [`LinkEvent`]s, each flipping one link's liveness. Traces come from
+//! three places:
+//!
+//! * scripted files ([`EventTrace::parse`] / [`EventTrace::to_text`]) with
+//!   one `down <link>` or `up <link>` per line;
+//! * the deterministic generators ([`EventTrace::flaps`],
+//!   [`EventTrace::srlg_bursts`], [`EventTrace::rolling_maintenance`]),
+//!   seeded through [`pcf_rng::Pcg32`] so the same seed reproduces the
+//!   same trace on every platform;
+//! * test code constructing event lists directly.
+//!
+//! Generators only emit *state-changing* events (a link goes down only
+//! while up, and vice versa), and [`EventTrace::flaps`] additionally keeps
+//! the number of concurrently dead links at or below its `max_down` bound,
+//! so a plan solved for `f = max_down` failures should replay
+//! violation-free.
+
+use pcf_rng::Pcg32;
+use pcf_topology::{LinkId, Topology};
+
+/// Direction of a link state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The link fails.
+    Down,
+    /// The link is repaired.
+    Up,
+}
+
+/// One link state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// The link whose state flips.
+    pub link: LinkId,
+    /// Down or up.
+    pub kind: EventKind,
+}
+
+/// An ordered sequence of link events applied to an initially all-alive
+/// topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTrace {
+    /// Human-readable trace name (generator + parameters, or file stem).
+    pub name: String,
+    /// The events, in replay order.
+    pub events: Vec<LinkEvent>,
+}
+
+/// Error from parsing a scripted trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl EventTrace {
+    /// Wraps an explicit event list.
+    pub fn new(name: impl Into<String>, events: Vec<LinkEvent>) -> Self {
+        EventTrace {
+            name: name.into(),
+            events,
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Largest number of simultaneously dead links over the trace
+    /// (idempotent events — down while down, up while up — don't count).
+    pub fn max_concurrent_down(&self) -> usize {
+        let n = self
+            .events
+            .iter()
+            .map(|e| e.link.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut dead = vec![false; n];
+        let mut now = 0usize;
+        let mut peak = 0usize;
+        for e in &self.events {
+            match e.kind {
+                EventKind::Down if !dead[e.link.index()] => {
+                    dead[e.link.index()] = true;
+                    now += 1;
+                    peak = peak.max(now);
+                }
+                EventKind::Up if dead[e.link.index()] => {
+                    dead[e.link.index()] = false;
+                    now -= 1;
+                }
+                _ => {}
+            }
+        }
+        peak
+    }
+
+    /// Independent link flaps: at each step a random alive link dies or a
+    /// random dead link recovers, never exceeding `max_down` concurrent
+    /// failures. With `max_down = 0` the trace is empty.
+    pub fn flaps(topo: &Topology, count: usize, max_down: usize, seed: u64) -> Self {
+        let n = topo.link_count();
+        let max_down = max_down.min(n);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut dead: Vec<LinkId> = Vec::new();
+        let mut alive: Vec<LinkId> = topo.links().collect();
+        let mut events = Vec::with_capacity(count);
+        if max_down > 0 {
+            while events.len() < count {
+                let go_down = if dead.is_empty() {
+                    true
+                } else if dead.len() == max_down || alive.is_empty() {
+                    false
+                } else {
+                    rng.chance(0.5)
+                };
+                let (from, to) = if go_down {
+                    (&mut alive, &mut dead)
+                } else {
+                    (&mut dead, &mut alive)
+                };
+                let i = rng.range_usize(0, from.len());
+                let link = from.swap_remove(i);
+                to.push(link);
+                events.push(LinkEvent {
+                    link,
+                    kind: if go_down {
+                        EventKind::Down
+                    } else {
+                        EventKind::Up
+                    },
+                });
+            }
+        }
+        EventTrace::new(
+            format!("flaps(n={count},max_down={max_down},seed={seed})"),
+            events,
+        )
+    }
+
+    /// Correlated SRLG bursts: repeatedly picks a random group, fails every
+    /// link in it, then repairs them all before the next burst. Concurrent
+    /// failures reach the largest group's size.
+    pub fn srlg_bursts(groups: &[Vec<LinkId>], count: usize, seed: u64) -> Self {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(count);
+        let usable: Vec<&Vec<LinkId>> = groups.iter().filter(|g| !g.is_empty()).collect();
+        if !usable.is_empty() {
+            while events.len() < count {
+                let group = *rng.pick(&usable);
+                for &l in group {
+                    events.push(LinkEvent {
+                        link: l,
+                        kind: EventKind::Down,
+                    });
+                }
+                for &l in group {
+                    events.push(LinkEvent {
+                        link: l,
+                        kind: EventKind::Up,
+                    });
+                }
+            }
+            events.truncate(count);
+        }
+        EventTrace::new(format!("srlg_bursts(n={count},seed={seed})"), events)
+    }
+
+    /// Rolling maintenance: takes links down one at a time, in a seeded
+    /// random order, repairing each before the next goes down (at most one
+    /// link is ever dead). Cycles through the topology as often as `count`
+    /// requires.
+    pub fn rolling_maintenance(topo: &Topology, count: usize, seed: u64) -> Self {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut order: Vec<LinkId> = topo.links().collect();
+        let mut events = Vec::with_capacity(count);
+        if !order.is_empty() {
+            while events.len() < count {
+                rng.shuffle(&mut order);
+                for &l in &order {
+                    events.push(LinkEvent {
+                        link: l,
+                        kind: EventKind::Down,
+                    });
+                    events.push(LinkEvent {
+                        link: l,
+                        kind: EventKind::Up,
+                    });
+                }
+            }
+            events.truncate(count);
+        }
+        EventTrace::new(
+            format!("rolling_maintenance(n={count},seed={seed})"),
+            events,
+        )
+    }
+
+    /// Parses the scripted format: one `down <link>` or `up <link>` per
+    /// line; blank lines and `#` comments are ignored. Links are given by
+    /// index, with or without the `e` prefix the CLI prints (`down 3` and
+    /// `down e3` are the same event).
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, TraceParseError> {
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let verb = parts.next().expect("non-empty line");
+            let kind = match verb {
+                "down" => EventKind::Down,
+                "up" => EventKind::Up,
+                other => {
+                    return Err(TraceParseError {
+                        line: i + 1,
+                        message: format!("expected `down` or `up`, got {other:?}"),
+                    })
+                }
+            };
+            let arg = parts.next().ok_or_else(|| TraceParseError {
+                line: i + 1,
+                message: format!("`{verb}` needs a link index"),
+            })?;
+            let digits = arg.strip_prefix('e').unwrap_or(arg);
+            let link: u32 = digits.parse().map_err(|_| TraceParseError {
+                line: i + 1,
+                message: format!("bad link index {arg:?}"),
+            })?;
+            if let Some(extra) = parts.next() {
+                return Err(TraceParseError {
+                    line: i + 1,
+                    message: format!("trailing token {extra:?}"),
+                });
+            }
+            events.push(LinkEvent {
+                link: LinkId(link),
+                kind,
+            });
+        }
+        Ok(EventTrace::new(name, events))
+    }
+
+    /// Renders the scripted format [`EventTrace::parse`] reads.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(8 * self.events.len() + self.name.len() + 3);
+        out.push_str(&format!("# {}\n", self.name));
+        for e in &self.events {
+            let verb = match e.kind {
+                EventKind::Down => "down",
+                EventKind::Up => "up",
+            };
+            out.push_str(&format!("{verb} {}\n", e.link.index()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcf_topology::zoo;
+
+    #[test]
+    fn flaps_respect_the_concurrency_bound() {
+        let topo = zoo::build("Sprint");
+        for max_down in 1..4 {
+            let t = EventTrace::flaps(&topo, 500, max_down, 42);
+            assert_eq!(t.len(), 500);
+            assert!(t.max_concurrent_down() <= max_down);
+            // Links referenced exist.
+            for e in &t.events {
+                assert!(e.link.index() < topo.link_count());
+            }
+        }
+    }
+
+    #[test]
+    fn flaps_are_deterministic_per_seed() {
+        let topo = zoo::build("Sprint");
+        assert_eq!(
+            EventTrace::flaps(&topo, 200, 2, 7),
+            EventTrace::flaps(&topo, 200, 2, 7)
+        );
+        assert_ne!(
+            EventTrace::flaps(&topo, 200, 2, 7).events,
+            EventTrace::flaps(&topo, 200, 2, 8).events
+        );
+    }
+
+    #[test]
+    fn srlg_bursts_fail_groups_atomically() {
+        let groups = vec![vec![LinkId(0), LinkId(1)], vec![LinkId(4)]];
+        let t = EventTrace::srlg_bursts(&groups, 100, 3);
+        assert_eq!(t.len(), 100);
+        assert!(t.max_concurrent_down() <= 2);
+    }
+
+    #[test]
+    fn rolling_maintenance_keeps_one_link_down() {
+        let topo = zoo::build("Sprint");
+        let t = EventTrace::rolling_maintenance(&topo, 120, 5);
+        assert_eq!(t.len(), 120);
+        assert_eq!(t.max_concurrent_down(), 1);
+    }
+
+    #[test]
+    fn scripted_round_trip() {
+        let t = EventTrace::new(
+            "scripted",
+            vec![
+                LinkEvent {
+                    link: LinkId(3),
+                    kind: EventKind::Down,
+                },
+                LinkEvent {
+                    link: LinkId(3),
+                    kind: EventKind::Up,
+                },
+            ],
+        );
+        let parsed = EventTrace::parse("scripted", &t.to_text()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(EventTrace::parse("t", "explode 3").is_err());
+        assert!(EventTrace::parse("t", "down").is_err());
+        assert!(EventTrace::parse("t", "down x").is_err());
+        assert!(EventTrace::parse("t", "down 1 2").is_err());
+        // Comments and blanks are fine; the printed `e<idx>` form parses.
+        let ok = EventTrace::parse("t", "# header\n\ndown 1 # inline\nup e1\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.events[0].link, ok.events[1].link);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property tests for the replay engine, on the workspace's deterministic
+//! `forall` harness.
+//!
+//! The two contracts that make the factorization cache trustworthy:
+//!
+//! 1. **Bit-identity** — for any trace, realizing through the cached
+//!    engine produces exactly (`f64::to_bits` exactly) the routing the
+//!    cold path (`realize_routing` on a freshly built `FailureState`)
+//!    produces, including agreeing on errors.
+//! 2. **Determinism** — the same seed yields the same trace, and replaying
+//!    it twice (or across different thread counts) yields identical
+//!    reports.
+
+use pcf_core::{
+    pcf_ls_instance, realize_routing, solve_pcf_ls, FailureModel, FailureState, Instance,
+    RobustOptions,
+};
+use pcf_replay::{replay_batch, replay_trace, EventKind, EventTrace, ReplayEngine, ReplayOptions};
+use pcf_rng::{forall, Config, Pcg32};
+use pcf_topology::zoo;
+use pcf_traffic::gravity;
+
+/// One solved plan shared by every property case (solving dominates the
+/// test's cost; the properties vary the traces, not the plan).
+fn sprint_plan() -> (Instance, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let topo = zoo::build("Sprint");
+    let tm = gravity(&topo, 11);
+    let inst = pcf_ls_instance(&topo, &tm, 3);
+    let sol = solve_pcf_ls(&inst, &FailureModel::links(1), &RobustOptions::default());
+    let served: Vec<f64> = inst
+        .pair_ids()
+        .map(|p| sol.z[p.0] * inst.demand(p))
+        .collect();
+    (inst, sol.a, sol.b, served)
+}
+
+/// Trace parameters a property case explores.
+#[derive(Debug, Clone)]
+struct TraceParams {
+    seed: u64,
+    events: usize,
+    max_down: usize,
+    cache_capacity: usize,
+}
+
+fn gen_params(rng: &mut Pcg32) -> TraceParams {
+    TraceParams {
+        seed: rng.next_u64(),
+        events: rng.range_usize(10, 80),
+        // max_down 2 exceeds the f=1 plan on purpose: error paths must be
+        // bit-identical too.
+        max_down: rng.range_usize_inclusive(1, 2),
+        cache_capacity: *rng.pick(&[1usize, 2, 8, 1024]),
+    }
+}
+
+fn shrink_params(p: &TraceParams) -> Vec<TraceParams> {
+    let mut out = Vec::new();
+    if p.events > 1 {
+        out.push(TraceParams {
+            events: p.events / 2,
+            ..p.clone()
+        });
+        out.push(TraceParams {
+            events: p.events - 1,
+            ..p.clone()
+        });
+    }
+    if p.max_down > 1 {
+        out.push(TraceParams {
+            max_down: p.max_down - 1,
+            ..p.clone()
+        });
+    }
+    out
+}
+
+#[test]
+fn cached_engine_is_bit_identical_to_cold_realization() {
+    let (inst, a, b, served) = sprint_plan();
+    forall(
+        "cached replay == cold realize_routing, bit for bit",
+        &Config::with_cases(16),
+        gen_params,
+        shrink_params,
+        |p| {
+            let trace = EventTrace::flaps(inst.topo(), p.events, p.max_down, p.seed);
+            let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, p.cache_capacity);
+            let mut mask = vec![false; inst.topo().link_count()];
+            for (i, ev) in trace.events.iter().enumerate() {
+                engine
+                    .apply(ev)
+                    .map_err(|e| format!("event {i}: apply failed: {e}"))?;
+                mask[ev.link.index()] = ev.kind == EventKind::Down;
+                let state = FailureState::new(&inst, &mask).expect("valid mask");
+                let cached = engine.realize();
+                let cold = realize_routing(&inst, &state, &a, &b, &served, 1e-6);
+                match (cached, cold) {
+                    (Ok(x), Ok(y)) => {
+                        if x.pairs != y.pairs {
+                            return Err(format!("event {i}: pair sets differ"));
+                        }
+                        for (j, (c, f)) in x.u.iter().zip(&y.u).enumerate() {
+                            if c.to_bits() != f.to_bits() {
+                                return Err(format!(
+                                    "event {i}: u[{j}] cached {c:e} != cold {f:e}"
+                                ));
+                            }
+                        }
+                        for (j, (c, f)) in x.arc_loads.iter().zip(&y.arc_loads).enumerate() {
+                            if c.to_bits() != f.to_bits() {
+                                return Err(format!(
+                                    "event {i}: arc_loads[{j}] cached {c:e} != cold {f:e}"
+                                ));
+                            }
+                        }
+                    }
+                    (Err(x), Err(y)) => {
+                        if x != y {
+                            return Err(format!("event {i}: errors differ: {x:?} vs {y:?}"));
+                        }
+                    }
+                    (x, y) => {
+                        return Err(format!("event {i}: cached {x:?} disagrees with cold {y:?}"))
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn same_seed_replay_is_deterministic() {
+    let (inst, a, b, served) = sprint_plan();
+    forall(
+        "same seed, same report",
+        &Config::with_cases(12),
+        gen_params,
+        shrink_params,
+        |p| {
+            let t1 = EventTrace::flaps(inst.topo(), p.events, p.max_down, p.seed);
+            let t2 = EventTrace::flaps(inst.topo(), p.events, p.max_down, p.seed);
+            if t1 != t2 {
+                return Err("generator is not deterministic".into());
+            }
+            let opts = ReplayOptions {
+                cache_capacity: p.cache_capacity,
+                ..ReplayOptions::default()
+            };
+            let r1 = replay_trace(&inst, &a, &b, &served, &t1, &opts);
+            let r2 = replay_trace(&inst, &a, &b, &served, &t2, &opts);
+            // Latency differs run to run; everything else must not.
+            if r1.event_utilization != r2.event_utilization {
+                return Err("utilizations differ across identical replays".into());
+            }
+            if r1.violations != r2.violations {
+                return Err("violations differ across identical replays".into());
+            }
+            if r1.cache != r2.cache {
+                return Err(format!(
+                    "cache stats differ: {:?} vs {:?}",
+                    r1.cache, r2.cache
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn batch_report_is_thread_count_invariant() {
+    let (inst, a, b, served) = sprint_plan();
+    let traces: Vec<EventTrace> = (0..5)
+        .map(|s| EventTrace::flaps(inst.topo(), 40, 1, 900 + s))
+        .collect();
+    let run = |threads| {
+        let opts = ReplayOptions {
+            threads,
+            ..ReplayOptions::default()
+        };
+        replay_batch(&inst, &a, &b, &served, &traces, &opts)
+    };
+    let base = run(1);
+    for threads in [2, 3, 8] {
+        let r = run(threads);
+        assert_eq!(
+            base.event_utilization, r.event_utilization,
+            "{threads} threads"
+        );
+        assert_eq!(base.violations, r.violations, "{threads} threads");
+        assert_eq!(base.cache, r.cache, "{threads} threads");
+    }
+}

@@ -40,7 +40,7 @@ fn main() {
 
     // Online: no failure.
     let no_fail = vec![false; topo.link_count()];
-    let state = FailureState::new(&inst, &no_fail);
+    let state = FailureState::new(&inst, &no_fail).expect("mask matches topology");
     let routing = realize_routing(&inst, &state, &sol.a, &sol.b, &served, 1e-6).unwrap();
     println!(
         "\nno failure:  max link utilization {:.3}",
@@ -53,7 +53,7 @@ fn main() {
     for &l in links.iter().take(3) {
         let mut dead = vec![false; topo.link_count()];
         dead[l.index()] = true;
-        let state = FailureState::new(&inst, &dead);
+        let state = FailureState::new(&inst, &dead).expect("mask matches topology");
         // The centralized realization (one linear system, Prop. 6)...
         let lin = realize_routing(&inst, &state, &sol.a, &sol.b, &served, 1e-6).unwrap();
         // ...and the fully distributed proportional rescaling (Prop. 7).
