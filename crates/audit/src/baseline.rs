@@ -1,0 +1,260 @@
+//! The checked-in debt baseline and the downward-only ratchet.
+//!
+//! `audit.baseline` (workspace root) records, per `(lint, file)`, how many
+//! violations are tolerated — the debt that existed when the lint was
+//! introduced. The comparison is a ratchet:
+//!
+//! * more findings than the baseline for any `(lint, file)` → **fail**,
+//!   with every finding in that bucket printed (the new one is among
+//!   them — line numbers shift too much under refactoring to pin debt to
+//!   specific lines, so the whole bucket is shown);
+//! * fewer findings → pass, with a nudge to tighten the baseline
+//!   (`pcf-audit --write-baseline`) so the improvement cannot regress;
+//! * findings of a never-baselinable lint (`bad-allow`) → always fail.
+//!
+//! The file format is `count lint path` per line, `#` comments, sorted —
+//! merge conflicts stay readable and diffs show debt direction at a
+//! glance.
+
+use crate::lints::{Finding, Lint};
+use std::collections::BTreeMap;
+
+/// Tolerated findings per `(lint name, file)`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Errors from [`parse_baseline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in the baseline file.
+    pub line: usize,
+    /// What is wrong.
+    pub problem: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit.baseline:{}: {}", self.line, self.problem)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Parses the baseline file format: `count lint path`, `#` comments.
+pub fn parse_baseline(text: &str) -> Result<Baseline, BaselineError> {
+    let mut base = Baseline::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |problem: &str| BaselineError {
+            line: idx + 1,
+            problem: problem.to_string(),
+        };
+        let count: usize = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| err("expected `count lint path`"))?;
+        let lint = parts.next().ok_or_else(|| err("missing lint name"))?;
+        let path = parts.next().ok_or_else(|| err("missing file path"))?;
+        if parts.next().is_some() {
+            return Err(err("trailing tokens after `count lint path`"));
+        }
+        let l = Lint::by_name(lint).ok_or_else(|| err("unknown lint name"))?;
+        if l == Lint::BadAllow {
+            return Err(err("bad-allow findings cannot be baselined"));
+        }
+        if base
+            .insert((lint.to_string(), path.to_string()), count)
+            .is_some()
+        {
+            return Err(err("duplicate (lint, path) entry"));
+        }
+    }
+    Ok(base)
+}
+
+/// Renders findings as a fresh baseline file.
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings {
+        if f.lint == Lint::BadAllow {
+            continue; // never baselinable
+        }
+        *counts
+            .entry((f.lint.name().to_string(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# pcf-audit baseline: tolerated pre-existing findings, per (lint, file).\n\
+         # Ratchet only downward: fix a finding, then run `pcf-audit --write-baseline`.\n\
+         # Format: count lint path\n",
+    );
+    for ((lint, path), count) in &counts {
+        out.push_str(&format!("{count} {lint} {path}\n"));
+    }
+    out
+}
+
+/// One `(lint, file)` bucket that exceeded its baseline.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Lint name.
+    pub lint: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Findings now present.
+    pub found: usize,
+    /// Findings the baseline tolerates.
+    pub tolerated: usize,
+    /// Every finding in the bucket (the offender is among them).
+    pub findings: Vec<Finding>,
+}
+
+/// The verdict of findings vs. baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Buckets over baseline — any entry fails the audit.
+    pub regressions: Vec<Regression>,
+    /// Buckets now under baseline: `(lint, file, found, tolerated)`.
+    pub improvements: Vec<(String, String, usize, usize)>,
+    /// Total findings (baselined debt included).
+    pub total_findings: usize,
+    /// Total tolerated by the baseline.
+    pub total_tolerated: usize,
+}
+
+impl Comparison {
+    /// True when the tree is no worse than the baseline.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares findings against the baseline.
+pub fn compare(findings: &[Finding], baseline: &Baseline) -> Comparison {
+    let mut buckets: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        buckets
+            .entry((f.lint.name().to_string(), f.file.clone()))
+            .or_default()
+            .push(f.clone());
+    }
+    let mut cmp = Comparison {
+        total_findings: findings.len(),
+        total_tolerated: baseline.values().sum(),
+        ..Comparison::default()
+    };
+    for ((lint, file), bucket) in &buckets {
+        let tolerated = if lint == Lint::BadAllow.name() {
+            0
+        } else {
+            baseline
+                .get(&(lint.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0)
+        };
+        if bucket.len() > tolerated {
+            cmp.regressions.push(Regression {
+                lint: lint.clone(),
+                file: file.clone(),
+                found: bucket.len(),
+                tolerated,
+                findings: bucket.clone(),
+            });
+        }
+    }
+    for ((lint, file), &tolerated) in baseline {
+        let found = buckets
+            .get(&(lint.clone(), file.clone()))
+            .map_or(0, Vec::len);
+        if found < tolerated {
+            cmp.improvements
+                .push((lint.clone(), file.clone(), found, tolerated));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: Lint, file: &str, line: usize) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            what: "test".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_render_parse() {
+        let fs = vec![
+            finding(Lint::NoPanicPaths, "crates/core/src/a.rs", 3),
+            finding(Lint::NoPanicPaths, "crates/core/src/a.rs", 9),
+            finding(Lint::FloatDiscipline, "crates/lp/src/b.rs", 1),
+        ];
+        let text = render_baseline(&fs);
+        let base = parse_baseline(&text).expect("round trip");
+        assert_eq!(
+            base.get(&("no-panic-paths".into(), "crates/core/src/a.rs".into())),
+            Some(&2)
+        );
+        assert_eq!(
+            base.get(&("float-discipline".into(), "crates/lp/src/b.rs".into())),
+            Some(&1)
+        );
+        assert!(compare(&fs, &base).pass());
+    }
+
+    #[test]
+    fn exceeding_baseline_fails_with_bucket_listing() {
+        let base = parse_baseline("1 no-panic-paths crates/core/src/a.rs\n").expect("parse");
+        let fs = vec![
+            finding(Lint::NoPanicPaths, "crates/core/src/a.rs", 3),
+            finding(Lint::NoPanicPaths, "crates/core/src/a.rs", 5),
+        ];
+        let cmp = compare(&fs, &base);
+        assert!(!cmp.pass());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].found, 2);
+        assert_eq!(cmp.regressions[0].tolerated, 1);
+        assert_eq!(cmp.regressions[0].findings.len(), 2);
+    }
+
+    #[test]
+    fn shrinking_is_an_improvement_not_a_failure() {
+        let base = parse_baseline("2 no-panic-paths crates/core/src/a.rs\n").expect("parse");
+        let fs = vec![finding(Lint::NoPanicPaths, "crates/core/src/a.rs", 3)];
+        let cmp = compare(&fs, &base);
+        assert!(cmp.pass());
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(cmp.improvements[0].2, 1);
+        assert_eq!(cmp.improvements[0].3, 2);
+    }
+
+    #[test]
+    fn bad_allow_is_never_baselinable() {
+        assert!(parse_baseline("1 bad-allow crates/core/src/a.rs\n").is_err());
+        let fs = vec![finding(Lint::BadAllow, "crates/core/src/a.rs", 3)];
+        assert!(!compare(&fs, &Baseline::new()).pass());
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(parse_baseline("x no-panic-paths a.rs\n").is_err());
+        assert!(parse_baseline("1 nonsense-lint a.rs\n").is_err());
+        assert!(parse_baseline("1 no-panic-paths\n").is_err());
+        assert!(parse_baseline("1 no-panic-paths a.rs extra\n").is_err());
+        assert!(
+            parse_baseline("1 no-panic-paths a.rs\n1 no-panic-paths a.rs\n").is_err(),
+            "duplicates rejected"
+        );
+        assert!(parse_baseline("# comment\n\n")
+            .expect("empty ok")
+            .is_empty());
+    }
+}

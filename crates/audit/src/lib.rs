@@ -1,0 +1,199 @@
+//! `pcf-audit` — in-tree static analysis for the PCF workspace.
+//!
+//! PCF's pitch is *provable* resilience: Propositions 5/6 guarantee that
+//! realizing a solved plan under any targeted failure is one linear solve
+//! that cannot fail. That guarantee is only as strong as the code on the
+//! failure-time path — a stray `unwrap()`, a `HashMap` iteration order
+//! leaking into a report, or a NaN panicking a `partial_cmp` sort would
+//! all break it at exactly the wrong moment. The workspace is hermetic
+//! (no third-party crates), so the analyzer lives in-tree:
+//!
+//! * [`scanner`] — a comment/string/raw-string-aware token scanner (no
+//!   `syn`), with `#[cfg(test)]` region tracking and
+//!   `// audit:allow(<lint>, <reason>)` escape parsing;
+//! * [`lints`] — the lint catalog: `no-panic-paths`,
+//!   `deterministic-iteration`, `float-discipline`,
+//!   `scoped-threads-only`, `no-wallclock-in-solver`;
+//! * [`baseline`] — the checked-in `audit.baseline` ratchet: existing
+//!   debt is tolerated, new violations fail, fixes shrink the file.
+//!
+//! Run it as `cargo run -p pcf-audit` (CI does), as `pcf audit` from the
+//! CLI, or `pcf-audit --write-baseline` after paying debt down.
+
+pub mod baseline;
+pub mod lints;
+pub mod scanner;
+
+pub use baseline::{compare, parse_baseline, render_baseline, Baseline, Comparison};
+pub use lints::{check_file, Finding, Lint, ALL_LINTS};
+pub use scanner::ScannedFile;
+
+use std::path::{Path, PathBuf};
+
+/// One workspace source file: its root-relative path and contents.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (the scope key).
+    pub rel: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Collects every `.rs` file under `<root>/crates`, sorted by path so
+/// findings and baselines are stable across platforms.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(&root.join("crates"), &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile {
+            rel,
+            text: std::fs::read_to_string(&p)?,
+        });
+    }
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        if path.is_dir() {
+            if matches!(name.as_deref(), Some("target") | Some(".git")) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits a set of already-loaded files (injectable for tests).
+pub fn audit_files(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        findings.extend(check_file(&f.rel, &ScannedFile::scan(&f.text)));
+    }
+    findings
+}
+
+/// Locates the workspace root from `start`: the nearest ancestor holding
+/// both `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+/// What [`run`] should do with the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// Compare findings against `audit.baseline` (the CI gate).
+    Check,
+    /// Rewrite `audit.baseline` from the current findings (ratchet).
+    Write,
+}
+
+/// Runs the full audit over the workspace at `root`. Returns the process
+/// exit code (0 = clean or ratchetable, 1 = regressions, 2 = setup
+/// error) and prints a human-readable report to stdout/stderr.
+pub fn run(root: &Path, mode: BaselineMode) -> i32 {
+    let files = match scan_workspace(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pcf-audit: cannot scan {}: {e}", root.display());
+            return 2;
+        }
+    };
+    let findings = audit_files(&files);
+    let baseline_path = root.join("audit.baseline");
+    if mode == BaselineMode::Write {
+        let text = render_baseline(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("pcf-audit: cannot write {}: {e}", baseline_path.display());
+            return 2;
+        }
+        println!(
+            "pcf-audit: wrote {} ({} tolerated findings across {} files)",
+            baseline_path.display(),
+            findings.iter().filter(|f| f.lint != Lint::BadAllow).count(),
+            files.len()
+        );
+        // Bad allows still fail a --write-baseline run: they cannot be
+        // recorded as debt.
+        let bad: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.lint == Lint::BadAllow)
+            .collect();
+        if !bad.is_empty() {
+            for f in bad {
+                eprintln!("  {f}");
+            }
+            return 1;
+        }
+        return 0;
+    }
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("pcf-audit: {e}");
+                return 2;
+            }
+        },
+        Err(_) => Baseline::new(),
+    };
+    let cmp = compare(&findings, &baseline);
+    report(&cmp, files.len());
+    if cmp.pass() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Prints the comparison outcome.
+fn report(cmp: &Comparison, files: usize) {
+    println!(
+        "pcf-audit: {} findings over {} files ({} tolerated by audit.baseline)",
+        cmp.total_findings, files, cmp.total_tolerated
+    );
+    for (lint, file, found, tolerated) in &cmp.improvements {
+        println!("  improved: {lint} in {file}: {found} < baseline {tolerated} (run `pcf-audit --write-baseline` to ratchet)");
+    }
+    if cmp.pass() {
+        println!("pcf-audit: PASS (no findings beyond the baseline)");
+        return;
+    }
+    for r in &cmp.regressions {
+        eprintln!(
+            "pcf-audit: FAIL [{}] {}: {} findings > {} tolerated:",
+            r.lint, r.file, r.found, r.tolerated
+        );
+        for f in &r.findings {
+            eprintln!("    {f}");
+        }
+    }
+    eprintln!(
+        "pcf-audit: fix the new findings, or annotate a justified site with \
+         `// audit:allow(<lint>, <reason>)`"
+    );
+}

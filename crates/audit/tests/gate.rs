@@ -1,0 +1,149 @@
+//! The audit gate, exercised the way CI runs it: real workspace scan,
+//! real `audit.baseline`, plus fault injection proving the gate actually
+//! fails when a forbidden construct lands in a library crate.
+
+use pcf_audit::{
+    audit_files, compare, find_root, parse_baseline, scan_workspace, Baseline, Lint, SourceFile,
+};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    find_root(&PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .expect("audit crate lives in the workspace")
+}
+
+fn checked_in_baseline(root: &Path) -> Baseline {
+    let text = std::fs::read_to_string(root.join("audit.baseline"))
+        .expect("audit.baseline is checked in at the workspace root");
+    parse_baseline(&text).expect("checked-in baseline parses")
+}
+
+/// The PR gate itself: the tree as committed must carry no findings
+/// beyond the checked-in baseline.
+#[test]
+fn workspace_is_clean_against_the_checked_in_baseline() {
+    let root = workspace_root();
+    let files = scan_workspace(&root).expect("workspace scans");
+    let findings = audit_files(&files);
+    let cmp = compare(&findings, &checked_in_baseline(&root));
+    assert!(
+        cmp.pass(),
+        "new findings beyond audit.baseline: {:#?}",
+        cmp.regressions
+    );
+}
+
+/// Fault injection: an `unwrap()` added to pcf-core must fail the gate
+/// even with the shipped baseline in place — the baseline tolerates the
+/// file's *existing* debt count, not one more.
+#[test]
+fn injected_unwrap_in_pcf_core_fails_the_gate() {
+    let root = workspace_root();
+    let mut files = scan_workspace(&root).expect("workspace scans");
+    files.push(SourceFile {
+        rel: "crates/core/src/injected.rs".to_string(),
+        text: "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n".to_string(),
+    });
+    let cmp = compare(&audit_files(&files), &checked_in_baseline(&root));
+    assert!(!cmp.pass(), "gate let an injected unwrap() through");
+    assert!(
+        cmp.regressions.iter().any(|r| {
+            r.lint == Lint::NoPanicPaths.name() && r.file == "crates/core/src/injected.rs"
+        }),
+        "regressions do not name the injected file: {:#?}",
+        cmp.regressions
+    );
+}
+
+/// Same injection into a file that already has baselined debt: the count
+/// goes one over its tolerance, so the bucket regresses.
+#[test]
+fn injected_unwrap_on_top_of_existing_debt_fails_the_gate() {
+    let root = workspace_root();
+    let baseline = checked_in_baseline(&root);
+    let Some(((_, rel), _)) = baseline
+        .iter()
+        .find(|((lint, _), count)| lint == Lint::NoPanicPaths.name() && **count > 0)
+    else {
+        return; // all debt paid off: nothing to piggyback on
+    };
+    let mut files = scan_workspace(&root).expect("workspace scans");
+    let f = files
+        .iter_mut()
+        .find(|f| &f.rel == rel)
+        .expect("baselined file exists");
+    f.text
+        .push_str("\npub fn audit_injected(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n");
+    let cmp = compare(&audit_files(&files), &baseline);
+    assert!(!cmp.pass(), "gate missed one-over-baseline in {rel}");
+}
+
+/// The analyzer holds itself to its own rules: zero findings (not merely
+/// baselined ones) in `crates/audit/src`.
+#[test]
+fn audit_crate_audits_itself_clean() {
+    let root = workspace_root();
+    let files: Vec<SourceFile> = scan_workspace(&root)
+        .expect("workspace scans")
+        .into_iter()
+        .filter(|f| f.rel.starts_with("crates/audit/src/"))
+        .collect();
+    assert!(!files.is_empty());
+    let findings = audit_files(&files);
+    assert!(findings.is_empty(), "pcf-audit flags itself: {findings:#?}");
+}
+
+/// Scanner fixtures that combine the hazards: raw strings holding fake
+/// code, nested block comments, a cfg(test) module, and allow escapes —
+/// none of which may produce findings in a library path.
+#[test]
+fn hostile_fixture_produces_no_false_positives() {
+    let fixture = r####"
+//! Module docs mentioning unwrap() and HashMap in prose.
+
+/* outer /* nested comment with x.unwrap() */ still commented
+   panic!("not real") */
+pub fn quoted() -> &'static str {
+    let _lifetime: &'static str = "x.unwrap() inside a string";
+    let _raw = r#"panic!("raw string"); y.expect("msg")"#;
+    let _hash = r##"HashMap::new() == 0.0"##;
+    let _byte = br"std::thread::spawn";
+    let _ch = '"';
+    "done"
+}
+
+// audit:allow(no-panic-paths, fixture demonstrates a justified escape)
+pub fn allowed_line(x: Option<u32>) -> u32 { x.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_code_is_exempt() {
+        let v: Option<u32> = None;
+        assert!(v.unwrap_or(1) == 1u32.min(2));
+        Some(3).unwrap();
+    }
+}
+"####;
+    let files = [SourceFile {
+        rel: "crates/core/src/fixture.rs".to_string(),
+        text: fixture.to_string(),
+    }];
+    let findings = audit_files(&files);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+/// And the inverse fixture: the same hazards, but with one real violation
+/// after them, which must still be caught at the right line.
+#[test]
+fn hostile_fixture_still_catches_the_real_violation() {
+    let fixture = "let _s = r#\"panic!(\"decoy\")\"#; /* x.unwrap() */\nreal.unwrap();\n";
+    let files = [SourceFile {
+        rel: "crates/core/src/fixture.rs".to_string(),
+        text: fixture.to_string(),
+    }];
+    let findings = audit_files(&files);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(findings[0].lint, Lint::NoPanicPaths);
+}

@@ -3,10 +3,11 @@
 //! ```text
 //! pcf solve    --topology GEANT --scheme pcf-ls --f 1 [--tunnels 3] [--seed 1]
 //! pcf solve    --gml net.gml --scheme pcf-tf --f 2
-//! pcf audit    --topology B4 --scheme pcf-ls --f 1       # validate all scenarios
+//! pcf validate --topology B4 --scheme pcf-ls --f 1       # check all scenarios
 //! pcf replay   --topology Sprint --f 2 --events 1000      # stream link churn
 //! pcf augment  --topology IBM --f 1 --target 1.2          # capacity to reach z*
 //! pcf topology --topology Deltacom                        # inspect a topology
+//! pcf audit                                               # static analysis gate
 //! ```
 //!
 //! Topologies come from the built-in evaluation set (`--topology <name>`)
@@ -67,10 +68,11 @@ fn usage() {
          \n\
          commands:\n\
          \x20 solve     compute a congestion-free allocation\n\
-         \x20 audit     solve, then validate every targeted failure scenario\n\
+         \x20 validate  solve, then check every targeted failure scenario\n\
          \x20 replay    solve, then stream link up/down events through the plan\n\
          \x20 augment   cheapest capacity additions to reach --target demand scale\n\
          \x20 topology  print a topology summary\n\
+         \x20 audit     run the in-tree static-analysis gate (see DESIGN.md §9)\n\
          \n\
          flags:\n\
          \x20 --topology <name>   built-in evaluation topology (e.g. Sprint, GEANT)\n\
@@ -94,6 +96,18 @@ fn usage() {
 
 fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(argv, FLAGS)?;
+    if args.command == "audit" {
+        // Static analysis needs the source tree, not a topology.
+        let cwd = std::env::current_dir()?;
+        let root = pcf_audit::find_root(&cwd).ok_or(ArgError(
+            "audit: cannot locate the workspace root (run inside the repository)".into(),
+        ))?;
+        let code = pcf_audit::run(&root, pcf_audit::BaselineMode::Check);
+        if code != 0 {
+            std::process::exit(code);
+        }
+        return Ok(());
+    }
     let topo = load_topology(&args)?;
     match args.command.as_str() {
         "topology" => {
@@ -105,7 +119,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             report(&topo, &inst, &sol, &scheme);
             Ok(())
         }
-        "audit" => {
+        "validate" => {
             let f = args.get_or("f", 1usize)?;
             let (inst, sol, scheme) = solve(&args, &topo)?;
             report(&topo, &inst, &sol, &scheme);
@@ -116,7 +130,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             let fm = FailureModel::links(f);
             let report = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
             println!(
-                "audit: {} scenarios ({} distinct states), max utilization {:.4} -> {}",
+                "validate: {} scenarios ({} distinct states), max utilization {:.4} -> {}",
                 report.scenarios,
                 report.distinct_states,
                 report.max_utilization,
@@ -326,7 +340,7 @@ fn solve(
             (cls.instance, cls.solution)
         }
         "r3" => {
-            // R3 has no tunnel/LS plan to audit; report and exit here.
+            // R3 has no tunnel/LS plan to validate; report and exit here.
             let r3 = solve_r3(topo, &tm, f);
             println!(
                 "R3 on {} (f={f}): guaranteed demand scale {:.4}",

@@ -49,12 +49,7 @@ pub fn worst_case_ffc(inst: &Instance, p: PairId, fm: &FailureModel, a: &[f64]) 
     let k = (fm.budget() * p_st).min(tunnels.len());
     // Indices of the k largest reservations.
     let mut order: Vec<usize> = (0..tunnels.len()).collect();
-    order.sort_by(|&i, &j| {
-        a[tunnels[j].0]
-            .partial_cmp(&a[tunnels[i].0])
-            .unwrap()
-            .then(i.cmp(&j))
-    });
+    order.sort_by(|&i, &j| a[tunnels[j].0].total_cmp(&a[tunnels[i].0]).then(i.cmp(&j)));
     let mut y = vec![0.0; tunnels.len()];
     let mut lost = 0.0;
     for &i in order.iter().take(k) {

@@ -19,7 +19,7 @@ use crate::adversary::{worst_case_link, WorstCase};
 use crate::failure::FailureModel;
 use crate::instance::{Instance, PairId};
 use crate::robust::RobustOptions;
-use pcf_lp::{LpProblem, Sense, Status, VarId};
+use pcf_lp::{nonzero, LpProblem, Sense, Status, VarId};
 use pcf_topology::LinkId;
 
 /// Result of [`augment_capacity`].
@@ -122,17 +122,17 @@ pub fn augment_capacity(
             let mut row: Vec<(VarId, f64)> = Vec::new();
             for (i, &l) in inst.tunnels_of(p).iter().enumerate() {
                 let coef = 1.0 - cut.wc.y[i];
-                if coef != 0.0 {
+                if nonzero(coef) {
                     row.push((a_vars[l.0], coef));
                 }
             }
             for (i, &q) in inst.lss_of(p).iter().enumerate() {
-                if cut.wc.h_l[i] != 0.0 {
+                if nonzero(cut.wc.h_l[i]) {
                     row.push((b_vars[q.0], cut.wc.h_l[i]));
                 }
             }
             for (i, &q) in inst.segments_of(p).iter().enumerate() {
-                if cut.wc.h_q[i] != 0.0 {
+                if nonzero(cut.wc.h_q[i]) {
                     row.push((b_vars[q.0], -cut.wc.h_q[i]));
                 }
             }

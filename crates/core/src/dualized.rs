@@ -13,7 +13,7 @@
 use crate::failure::FailureModel;
 use crate::instance::Instance;
 use crate::objective::Objective;
-use pcf_lp::{LpProblem, Sense, SimplexOptions, Status, VarId};
+use pcf_lp::{is_zero, LpProblem, Sense, SimplexOptions, Status, VarId};
 
 /// Solves the dualized FFC model: for each pair, the worst case over
 /// `Σ_l y_l <= f p_st, 0 <= y <= 1` is dualized with multipliers
@@ -55,7 +55,7 @@ pub fn solve_ffc_dual(
     let zshared = matches!(objective, Objective::DemandScale).then(|| lp.add_nonneg(1.0));
     for p in inst.pair_ids() {
         let tunnels = inst.tunnels_of(p);
-        if tunnels.is_empty() && inst.demand(p) == 0.0 {
+        if tunnels.is_empty() && is_zero(inst.demand(p)) {
             continue;
         }
         let lam = lp.add_nonneg(0.0);
@@ -121,7 +121,7 @@ pub fn solve_pcf_tf_dual(
     let zshared = matches!(objective, Objective::DemandScale).then(|| lp.add_nonneg(1.0));
     for p in inst.pair_ids() {
         let tunnels = inst.tunnels_of(p);
-        if tunnels.is_empty() && inst.demand(p) == 0.0 {
+        if tunnels.is_empty() && is_zero(inst.demand(p)) {
             continue;
         }
         let lam = lp.add_nonneg(0.0);

@@ -86,7 +86,7 @@ impl FailureModel {
             .map(|(i, &p)| (i, p / (1.0 - p)))
             .filter(|&(_, r)| r > 0.0)
             .collect();
-        ratio.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ratio.sort_by(|a, b| b.1.total_cmp(&a.1));
         let base: f64 = link_prob.iter().map(|&p| 1.0 - p).product();
 
         /// Total order on finite non-negative f64 for the best-first heap.
@@ -100,7 +100,7 @@ impl FailureModel {
         }
         impl Ord for Prob {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).expect("finite probabilities")
+                self.0.total_cmp(&other.0)
             }
         }
 

@@ -20,7 +20,7 @@ use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, InstanceBuilder, LogicalSequence, PairId};
 use crate::objective::Objective;
 use crate::robust::RobustOptions;
-use pcf_lp::{LpProblem, Sense, Status, VarId};
+use pcf_lp::{nonzero, LpProblem, Sense, Status, VarId};
 use pcf_topology::{LinkId, NodeId, Topology};
 use pcf_traffic::TrafficMatrix;
 use std::collections::HashMap;
@@ -379,27 +379,27 @@ fn solve_flow_master(
         let mut row: Vec<(VarId, f64)> = Vec::new();
         for (i, &l) in inst.tunnels_of(p).iter().enumerate() {
             let coef = 1.0 - cut.wc.y[i];
-            if coef != 0.0 {
+            if nonzero(coef) {
                 row.push((a_vars[l.0], coef));
             }
         }
         for (i, &q) in inst.lss_of(p).iter().enumerate() {
-            if cut.wc.h_l[i] != 0.0 {
+            if nonzero(cut.wc.h_l[i]) {
                 row.push((b_vars[q.0], cut.wc.h_l[i]));
             }
         }
         for (i, &q) in inst.segments_of(p).iter().enumerate() {
-            if cut.wc.h_q[i] != 0.0 {
+            if nonzero(cut.wc.h_q[i]) {
                 row.push((b_vars[q.0], -cut.wc.h_q[i]));
             }
         }
         for &(w, h) in &cut.h_res {
-            if h != 0.0 {
+            if nonzero(h) {
                 row.push((fb_vars[w], h));
             }
         }
         for &(w, si, h) in &cut.h_obl {
-            if h != 0.0 {
+            if nonzero(h) {
                 row.push((fp_vars[w][si], -h));
             }
         }

@@ -16,7 +16,7 @@
 //! for concurrent-flow computations.
 
 use crate::failure::FailureModel;
-use pcf_lp::{LpProblem, Sense, SimplexOptions, Status, VarId};
+use pcf_lp::{is_zero, LpProblem, Sense, SimplexOptions, Status, VarId};
 use pcf_topology::{NodeId, Topology};
 use pcf_traffic::TrafficMatrix;
 
@@ -204,7 +204,7 @@ pub fn optimal_demand_scale(
         if v < worst {
             worst = v;
         }
-        if worst == 0.0 {
+        if is_zero(worst) {
             break;
         }
     }

@@ -19,7 +19,7 @@
 
 use crate::instance::{Instance, LogicalSequence, LsId, PairId, TunnelId};
 use pcf_lp::{solve_dense, DenseMatrix};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which tunnels are alive and which LSs are active under a concrete
 /// failure.
@@ -189,6 +189,7 @@ pub fn pairs_of_interest(
         for q in state.active_lss(inst, p) {
             if b[q.0] > eps {
                 for (u, v) in inst.ls(q).segments() {
+                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
                     let sp = inst.pair_id(u, v).expect("segment pairs are interned");
                     if !interest[sp.0] {
                         interest[sp.0] = true;
@@ -212,7 +213,7 @@ pub fn reservation_matrix(
     b: &[f64],
     pairs: &[PairId],
 ) -> DenseMatrix {
-    let index: HashMap<PairId, usize> = pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let index: BTreeMap<PairId, usize> = pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
     let mut m = DenseMatrix::zeros(pairs.len());
     for (i, &p) in pairs.iter().enumerate() {
         let mut diag = 0.0;
@@ -366,7 +367,7 @@ pub fn realize_routing(
     let m = reservation_matrix(inst, state, a, b, &pairs);
     let d: Vec<f64> = pairs.iter().map(|&p| served[p.0]).collect();
     let u = solve_dense(&m, &[d]).map_err(|_| RealizeError::SingularMatrix)?;
-    let u = u.into_iter().next().expect("one rhs");
+    let u = u.into_iter().next().ok_or(RealizeError::SingularMatrix)?;
     let u = check_utilizations(&pairs, u, tol)?;
     Ok(expand_routing(inst, state, a, &pairs, &u))
 }
@@ -406,6 +407,7 @@ pub fn topological_order(inst: &Instance, b: &[f64]) -> Option<Vec<PairId>> {
         }
         let owner = inst.ls_pair(q);
         for (u, v) in inst.ls(q).segments() {
+            // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
             let sp = inst.pair_id(u, v).expect("segment pairs are interned");
             if sp != owner {
                 adj[owner.0].push(sp.0);
@@ -441,13 +443,13 @@ pub fn topological_order(inst: &Instance, b: &[f64]) -> Option<Vec<PairId>> {
 pub fn greedy_topsort(lss: &[LogicalSequence]) -> (Vec<LogicalSequence>, usize) {
     type Pair = (u32, u32);
     // reach[x] contains pairs reachable from x in the kept relation.
-    let mut adj: HashMap<Pair, Vec<Pair>> = HashMap::new();
-    let reaches = |adj: &HashMap<Pair, Vec<Pair>>, from: Pair, to: Pair| -> bool {
+    let mut adj: BTreeMap<Pair, Vec<Pair>> = BTreeMap::new();
+    let reaches = |adj: &BTreeMap<Pair, Vec<Pair>>, from: Pair, to: Pair| -> bool {
         if from == to {
             return true;
         }
         let mut stack = vec![from];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = BTreeSet::new();
         while let Some(x) = stack.pop() {
             if x == to {
                 return true;
@@ -532,6 +534,7 @@ pub fn proportional_routing(
             let flow = u * b[q.0];
             if flow > 0.0 {
                 for (x, y) in inst.ls(q).segments() {
+                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
                     let sp = inst.pair_id(x, y).expect("segment pairs are interned");
                     obligation[sp.0] += flow;
                 }

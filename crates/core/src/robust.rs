@@ -27,7 +27,7 @@ use crate::adversary::{worst_case_ffc, worst_case_link, WorstCase};
 use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, PairId};
 use crate::objective::Objective;
-use pcf_lp::{IncrementalLp, LpProblem, Sense, SimplexOptions, Status, VarId};
+use pcf_lp::{nonzero, IncrementalLp, LpProblem, Sense, SimplexOptions, Status, VarId};
 
 /// Which failure-set model the scheme plans against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -349,17 +349,17 @@ impl Master {
         let mut row: Vec<(VarId, f64)> = Vec::new();
         for (i, &l) in inst.tunnels_of(p).iter().enumerate() {
             let coef = 1.0 - cut.wc.y[i];
-            if coef != 0.0 {
+            if nonzero(coef) {
                 row.push((self.a_vars[l.0], coef));
             }
         }
         for (i, &q) in inst.lss_of(p).iter().enumerate() {
-            if cut.wc.h_l[i] != 0.0 {
+            if nonzero(cut.wc.h_l[i]) {
                 row.push((self.b_vars[q.0], cut.wc.h_l[i]));
             }
         }
         for (i, &q) in inst.segments_of(p).iter().enumerate() {
-            if cut.wc.h_q[i] != 0.0 {
+            if nonzero(cut.wc.h_q[i]) {
                 row.push((self.b_vars[q.0], -cut.wc.h_q[i]));
             }
         }

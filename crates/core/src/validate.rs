@@ -21,7 +21,7 @@
 use crate::failure::FailureModel;
 use crate::instance::Instance;
 use crate::realize::{realize_routing, FailureState, RealizeError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How many hotspot arcs a [`ValidationReport`] retains.
 const TOP_ARCS: usize = 5;
@@ -103,7 +103,7 @@ pub fn validate_scenarios(
     let mut arc_peak = vec![0.0f64; topo.arc_count()];
     let mut violations = Vec::new();
     // Realized (or failed) routings keyed by liveness signature.
-    let mut by_signature: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut by_signature: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
     let mut solved: Vec<Result<Vec<f64>, RealizeError>> = Vec::new();
     for mask in masks {
         let state = match FailureState::new(inst, mask) {
@@ -166,8 +166,7 @@ fn top_hotspots(arc_peak: &[f64], k: usize) -> Vec<ArcHotspot> {
         .collect();
     hot.sort_by(|x, y| {
         y.utilization
-            .partial_cmp(&x.utilization)
-            .expect("utilizations are finite")
+            .total_cmp(&x.utilization)
             .then(x.arc.cmp(&y.arc))
     });
     hot.truncate(k);

@@ -144,19 +144,20 @@ impl IncrementalLp {
             }
         }
 
-        if self.state.is_some() && self.problem.num_rows() > self.solved_rows {
+        if self.problem.num_rows() > self.solved_rows {
             // The warm path consumes the state; it is reinstalled only if
             // the attempt ends in a trustworthy terminal status.
-            let st = self.state.take().expect("checked above");
-            match self.warm_solve(st) {
-                Some((sol, st)) => {
-                    self.stats.warm_solves += 1;
-                    self.state = st;
-                    self.solved_rows = self.problem.num_rows();
-                    self.cached = Some(sol.clone());
-                    return Ok(sol);
+            if let Some(st) = self.state.take() {
+                match self.warm_solve(st) {
+                    Some((sol, st)) => {
+                        self.stats.warm_solves += 1;
+                        self.state = st;
+                        self.solved_rows = self.problem.num_rows();
+                        self.cached = Some(sol.clone());
+                        return Ok(sol);
+                    }
+                    None => self.stats.warm_fallbacks += 1,
                 }
-                None => self.stats.warm_fallbacks += 1,
             }
         }
 

@@ -10,14 +10,18 @@
 //!   solved problem and re-solves warm-starting from the previous basis,
 //!   the engine under PCF's cutting-plane loop;
 //! * [`linsys`] — dense Gaussian elimination and Gauss–Seidel iteration for
-//!   the M-matrix linear systems of PCF's online response (Props. 5–6).
+//!   the M-matrix linear systems of PCF's online response (Props. 5–6);
+//! * [`float`] — the workspace's approved float-comparison helpers (the
+//!   only module the `float-discipline` audit lint exempts).
 
+pub mod float;
 pub mod incremental;
 pub mod linsys;
 pub mod model;
 pub mod simplex;
 pub mod write;
 
+pub use float::{approx_eq, approx_zero, is_zero, nonzero};
 pub use incremental::{IncrementalLp, IncrementalStats};
 pub use linsys::{lu_factor, solve_dense, solve_gauss_seidel, DenseMatrix, LinSysError, LuFactors};
 pub use model::{LpProblem, RowId, Sense, Solution, SolveError, Status, VarId};

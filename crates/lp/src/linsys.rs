@@ -131,7 +131,7 @@ pub fn lu_factor(m: &DenseMatrix) -> Result<LuFactors, LinSysError> {
         for r in (col + 1)..n {
             let f = a[r * n + col] / d;
             a[r * n + col] = f;
-            if f != 0.0 {
+            if crate::float::nonzero(f) {
                 for j in (col + 1)..n {
                     a[r * n + j] -= f * a[col * n + j];
                 }

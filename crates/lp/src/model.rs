@@ -192,16 +192,17 @@ impl LpProblem {
         assert!(lower <= upper, "empty row range [{lower}, {upper}]");
         // Accumulate duplicates (index-keyed so large rows stay O(k)).
         let mut acc: Vec<(usize, f64)> = Vec::new();
-        let mut slot_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut slot_of: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for (v, c) in coeffs {
             assert!(v.0 < self.obj.len(), "row references unknown variable");
             assert!(c.is_finite(), "row coefficient must be finite");
-            if c == 0.0 {
+            if crate::float::is_zero(c) {
                 continue;
             }
             match slot_of.entry(v.0) {
-                std::collections::hash_map::Entry::Occupied(e) => acc[*e.get()].1 += c,
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Occupied(e) => acc[*e.get()].1 += c,
+                std::collections::btree_map::Entry::Vacant(e) => {
                     e.insert(acc.len());
                     acc.push((v.0, c));
                 }

@@ -22,6 +22,7 @@
 //!   the WAN models (capacities 0.5–10, demands spanning decades) well
 //!   conditioned.
 
+use crate::float::nonzero;
 use crate::model::{LpProblem, Sense, Solution, Status};
 
 /// Tunable solver parameters.
@@ -113,7 +114,7 @@ impl Tableau {
                 continue;
             }
             let v = self.nonbasic_value(j);
-            if v != 0.0 {
+            if nonzero(v) {
                 for &(i, a) in &self.cols[j] {
                     rhs[i] -= a * v;
                 }
@@ -176,7 +177,7 @@ impl Tableau {
                     continue;
                 }
                 let f = b[r * m + col];
-                if f != 0.0 {
+                if nonzero(f) {
                     for k in 0..m {
                         b[r * m + k] -= f * b[col * m + k];
                         inv[r * m + k] -= f * inv[col * m + k];
@@ -195,7 +196,7 @@ impl Tableau {
             *v = 0.0;
         }
         for (r, &c) in cb.iter().enumerate() {
-            if c != 0.0 {
+            if nonzero(c) {
                 let row = &self.binv[r * m..(r + 1) * m];
                 for i in 0..m {
                     y[i] += c * row[i];
@@ -211,7 +212,7 @@ impl Tableau {
             *v = 0.0;
         }
         for &(i, a) in &self.cols[j] {
-            if a != 0.0 {
+            if nonzero(a) {
                 for (r, dr) in d.iter_mut().enumerate().take(m) {
                     *dr += self.binv[r * m + i] * a;
                 }
@@ -234,7 +235,7 @@ impl Tableau {
                 continue;
             }
             let f = d[row];
-            if f != 0.0 {
+            if nonzero(f) {
                 // binv[row, :] -= f * binv[r, :]
                 let (head, tail) = self.binv.split_at_mut(r.max(row) * m);
                 let (dst, src) = if row < r {
@@ -294,6 +295,7 @@ impl Tableau {
                             (rc, -1.0)
                         }
                     }
+                    // audit:allow(no-panic-paths, pricing scans only nonbasic columns; Basic is filtered above)
                     VarState::Basic(_) => unreachable!(),
                 };
                 if viol > self.opts.opt_tol {
@@ -382,6 +384,7 @@ impl Tableau {
                         VarState::AtLower => self.lower[jin] + t,
                         VarState::AtUpper => self.upper[jin] - t,
                         VarState::FreeZero => dir * t,
+                        // audit:allow(no-panic-paths, the entering column is nonbasic by construction)
                         VarState::Basic(_) => unreachable!(),
                     };
                     for (i, &di) in d.iter().enumerate().take(m) {
@@ -614,7 +617,7 @@ pub(crate) fn solve_with_state(
             VarState::AtUpper => upper[j],
             _ => 0.0,
         };
-        if v != 0.0 {
+        if nonzero(v) {
             for &(i, a) in &cols[j] {
                 resid[i] += a * v;
             }

@@ -20,7 +20,7 @@ pub fn to_lp_format(problem: &LpProblem) -> String {
     }
     let mut any = false;
     for (j, &c) in problem.obj.iter().enumerate() {
-        if c != 0.0 {
+        if crate::float::nonzero(c) {
             let _ = write!(out, " {} {} x{}", sign(c, any), c.abs(), j);
             any = true;
         }
@@ -55,7 +55,7 @@ pub fn to_lp_format(problem: &LpProblem) -> String {
                 let _ = writeln!(out, " {lo} <= x{j} <= {hi}");
             }
             (true, false) => {
-                if lo != 0.0 {
+                if crate::float::nonzero(lo) {
                     let _ = writeln!(out, " x{j} >= {lo}");
                 }
             }

@@ -87,8 +87,7 @@ impl Ord for HeapEntry {
         // Min-heap on dist (reverse), ties by node id for determinism.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

@@ -24,7 +24,7 @@ use pcf_core::{
     TunnelId,
 };
 use pcf_lp::{lu_factor, LuFactors};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Hit/miss/eviction counters of the factorization cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,7 +72,7 @@ type CacheEntry = Result<Solved, RealizeError>;
 /// state.
 struct FactorCache {
     capacity: usize,
-    entries: HashMap<Vec<u64>, CacheEntry>,
+    entries: BTreeMap<Vec<u64>, CacheEntry>,
     order: VecDeque<Vec<u64>>,
     stats: CacheStats,
 }
@@ -81,7 +81,7 @@ impl FactorCache {
     fn new(capacity: usize) -> Self {
         FactorCache {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: VecDeque::new(),
             stats: CacheStats::default(),
         }

@@ -205,7 +205,7 @@ mod tests {
     fn capacities_are_heterogeneous_tiers() {
         let t = build("Deltacom");
         let mut tiers: Vec<f64> = t.links().map(|l| t.capacity(l)).collect();
-        tiers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        tiers.sort_by(|a, b| a.total_cmp(b));
         tiers.dedup();
         assert!(
             tiers.len() >= 3,

@@ -91,7 +91,7 @@ impl TrafficMatrix {
     pub fn truncate_to_mass(&mut self, fraction: f64) -> usize {
         assert!((0.0..=1.0).contains(&fraction));
         let mut pairs = self.positive_pairs();
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
         let total = self.total();
         let mut kept_mass = 0.0;
         let mut kept = 0usize;
@@ -117,7 +117,7 @@ impl TrafficMatrix {
     /// Keeps only the `k` largest demands, zeroing the rest.
     pub fn truncate_to_top_k(&mut self, k: usize) -> usize {
         let mut pairs = self.positive_pairs();
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
         pairs.truncate(k);
         let mut keep = vec![false; self.n * self.n];
         for (s, t, _) in &pairs {
