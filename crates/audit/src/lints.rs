@@ -29,8 +29,10 @@ const DETERMINISTIC_SRC: &[&str] = &[
     "crates/lp/src/",
     "crates/core/src/validate.rs",
     "crates/core/src/realize.rs",
+    "crates/core/src/degrade.rs",
     "crates/replay/src/engine.rs",
     "crates/replay/src/report.rs",
+    "crates/replay/src/inject.rs",
 ];
 
 /// The module allowed to spell raw float comparisons: everything else

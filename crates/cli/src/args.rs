@@ -1,16 +1,20 @@
 //! Tiny hand-rolled argument parser (no external dependencies).
 //!
-//! Grammar: `pcf <command> [--flag value]...`. Flags may appear in any
-//! order; unknown flags are an error so typos fail fast.
+//! Grammar: `pcf <command> [--flag value | --switch]...`. Flags may
+//! appear in any order; unknown flags are an error so typos fail fast.
+//! Switches are valueless boolean flags (`--fail-fast`), queried with
+//! [`Args::has`].
 
 use std::collections::HashMap;
 
-/// Parsed command line: the subcommand and its `--flag value` pairs.
+/// Parsed command line: the subcommand, its `--flag value` pairs, and
+/// the valueless switches that were present.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
     flags: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 /// Error produced by [`Args::parse`] or typed accessors.
@@ -27,18 +31,26 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses `argv` (without the binary name) against a list of known
-    /// flags.
-    pub fn parse(argv: &[String], known: &[&str]) -> Result<Args, ArgError> {
+    /// value-taking flags and a list of valueless switches.
+    pub fn parse(argv: &[String], known: &[&str], switches: &[&str]) -> Result<Args, ArgError> {
         let mut it = argv.iter();
         let command = it
             .next()
             .ok_or_else(|| ArgError("missing command".into()))?
             .clone();
         let mut flags = HashMap::new();
+        let mut seen_switches = Vec::new();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(ArgError(format!("expected --flag, got {tok:?}")));
             };
+            if switches.contains(&name) {
+                if seen_switches.iter().any(|s| s == name) {
+                    return Err(ArgError(format!("--{name} given twice")));
+                }
+                seen_switches.push(name.to_string());
+                continue;
+            }
             if !known.contains(&name) {
                 return Err(ArgError(format!("unknown flag --{name}")));
             }
@@ -49,12 +61,21 @@ impl Args {
                 return Err(ArgError(format!("--{name} given twice")));
             }
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            flags,
+            switches: seen_switches,
+        })
     }
 
     /// String flag value.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// True when the valueless switch was present.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// Typed flag with a default.
@@ -81,6 +102,7 @@ mod tests {
         let a = Args::parse(
             &sv(&["solve", "--topology", "Sprint", "--f", "2"]),
             &["topology", "f"],
+            &[],
         )
         .unwrap();
         assert_eq!(a.command, "solve");
@@ -91,16 +113,35 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_duplicate_flags() {
-        assert!(Args::parse(&sv(&["solve", "--nope", "1"]), &["f"]).is_err());
-        assert!(Args::parse(&sv(&["solve", "--f", "1", "--f", "2"]), &["f"]).is_err());
-        assert!(Args::parse(&sv(&["solve", "--f"]), &["f"]).is_err());
-        assert!(Args::parse(&sv(&["solve", "f"]), &["f"]).is_err());
-        assert!(Args::parse(&[], &[]).is_err());
+        assert!(Args::parse(&sv(&["solve", "--nope", "1"]), &["f"], &[]).is_err());
+        assert!(Args::parse(&sv(&["solve", "--f", "1", "--f", "2"]), &["f"], &[]).is_err());
+        assert!(Args::parse(&sv(&["solve", "--f"]), &["f"], &[]).is_err());
+        assert!(Args::parse(&sv(&["solve", "f"]), &["f"], &[]).is_err());
+        assert!(Args::parse(&[], &[], &[]).is_err());
     }
 
     #[test]
     fn typed_parse_errors_are_reported() {
-        let a = Args::parse(&sv(&["solve", "--f", "nope"]), &["f"]).unwrap();
+        let a = Args::parse(&sv(&["solve", "--f", "nope"]), &["f"], &[]).unwrap();
         assert!(a.get_or("f", 1usize).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value_and_reject_duplicates() {
+        let a = Args::parse(
+            &sv(&["replay", "--fail-fast", "--f", "2"]),
+            &["f"],
+            &["fail-fast"],
+        )
+        .unwrap();
+        assert!(a.has("fail-fast"));
+        assert!(!a.has("json"));
+        assert_eq!(a.get_or("f", 1usize).unwrap(), 2);
+        assert!(Args::parse(
+            &sv(&["replay", "--fail-fast", "--fail-fast"]),
+            &[],
+            &["fail-fast"]
+        )
+        .is_err());
     }
 }

@@ -19,11 +19,12 @@ mod args;
 
 use args::{ArgError, Args};
 use pcf_core::validate::validate_all;
+use pcf_core::DegradeMode;
 use pcf_core::{
     augment_capacity, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
     solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions, RobustSolution,
 };
-use pcf_replay::{replay_batch, EventTrace, ReplayOptions};
+use pcf_replay::{replay_batch, EventTrace, FaultInjector, ReplayOptions};
 use pcf_topology::Topology;
 use pcf_traffic::{gravity, TrafficMatrix};
 
@@ -43,7 +44,12 @@ const FLAGS: &[&str] = &[
     "traces",
     "cache",
     "json",
+    "degrade",
+    "inject",
+    "djson",
 ];
+
+const SWITCHES: &[&str] = &["fail-fast"];
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -90,12 +96,22 @@ fn usage() {
          \x20 --events <n>        (replay) generate an n-event flap trace    (default 1000)\n\
          \x20 --traces <n>        (replay) replay n generated traces in parallel (default 1)\n\
          \x20 --cache <n>         (replay) retained factorizations; 0 = cold (default 1024)\n\
-         \x20 --json <path>       (replay) also write the report as JSON"
+         \x20 --json <path>       (replay) also write the report as JSON\n\
+         \x20 --djson <path>      (replay) write the deterministic (digest) report as JSON\n\
+         \x20 --degrade <m>       (replay) off | rescale | shed: how far down the\n\
+         \x20                     degradation ladder beyond-budget events may fall\n\
+         \x20                     (default off; see DESIGN.md \u{a7}10)\n\
+         \x20 --inject <kind>     (replay) adversarial traces instead of flaps:\n\
+         \x20                     bursts (beyond-budget) | wobble (capacity) | chaos (both)\n\
+         \x20 --fail-fast         (replay) stop each trace at its first violation\n\
+         \n\
+         exit codes: 0 clean (degraded-but-served events included), 1 violations\n\
+         found by validate/replay, 2 usage or input errors"
     );
 }
 
 fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let args = Args::parse(argv, FLAGS)?;
+    let args = Args::parse(argv, FLAGS, SWITCHES)?;
     if args.command == "audit" {
         // Static analysis needs the source tree, not a topology.
         let cwd = std::env::current_dir()?;
@@ -151,6 +167,16 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             if !report.congestion_free() {
+                let s = report.summarize();
+                println!(
+                    "  {} violation(s): {} disconnected, {} realize, {} overload \
+                     (worst residual overload {:.4})",
+                    s.total(),
+                    s.disconnected,
+                    s.realize,
+                    s.overload,
+                    report.worst_overload()
+                );
                 std::process::exit(1);
             }
             Ok(())
@@ -164,22 +190,58 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 .map(|p| sol.z[p.0] * inst.demand(p))
                 .collect();
             let seed = args.get_or("seed", 1u64)?;
-            let traces: Vec<EventTrace> = match args.get("trace") {
-                Some(path) => {
-                    let text = std::fs::read_to_string(path)?;
-                    vec![EventTrace::parse(path, &text)?]
+            let degrade = match args.get("degrade") {
+                None => DegradeMode::Off,
+                Some(s) => DegradeMode::from_flag(s).ok_or(ArgError(format!(
+                    "--degrade: expected off | rescale | shed, got {s:?}"
+                )))?,
+            };
+            let traces: Vec<EventTrace> = match (args.get("trace"), args.get("inject")) {
+                (Some(_), Some(_)) => {
+                    return Err(Box::new(ArgError(
+                        "--trace and --inject are mutually exclusive".into(),
+                    )))
                 }
-                None => {
+                (Some(path), None) => {
+                    // Strict parsing: scripted files must name real links
+                    // and describe consistent state changes.
+                    let text = std::fs::read_to_string(path)?;
+                    vec![EventTrace::parse_strict(path, &text, &topo)?]
+                }
+                (None, inject) => {
+                    if let Some(kind) = inject {
+                        if !["bursts", "wobble", "chaos"].contains(&kind) {
+                            return Err(Box::new(ArgError(format!(
+                                "--inject: expected bursts | wobble | chaos, got {kind:?}"
+                            ))));
+                        }
+                    }
                     let events = args.get_or("events", 1000usize)?;
                     let n = args.get_or("traces", 1usize)?;
                     (0..n as u64)
-                        .map(|i| EventTrace::flaps(&topo, events, f, seed.wrapping_add(i)))
+                        .map(|i| {
+                            let s = seed.wrapping_add(i);
+                            match inject {
+                                None => EventTrace::flaps(&topo, events, f, s),
+                                Some("bursts") => FaultInjector::new(s).beyond_budget_bursts(
+                                    &topo,
+                                    events.div_ceil(2),
+                                    f,
+                                ),
+                                Some("wobble") => {
+                                    FaultInjector::new(s).capacity_wobble(&topo, events, 500)
+                                }
+                                _ => FaultInjector::new(s).chaos(&topo, events, f),
+                            }
+                        })
                         .collect()
                 }
             };
             let opts = ReplayOptions {
                 cache_capacity: args.get_or("cache", 1024usize)?,
                 threads: args.get_or("threads", 0usize)?,
+                degrade,
+                fail_fast: args.has("fail-fast"),
                 ..ReplayOptions::default()
             };
             let t0 = std::time::Instant::now();
@@ -199,14 +261,28 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             );
             println!(
                 "  realization latency p50/p99: {}/{} us; cache hits {} misses {} \
-                 evictions {} (hit rate {:.1}%)",
+                 errors {} evictions {} (hit rate {:.1}%)",
                 rep.latency.p50_ns() / 1_000,
                 rep.latency.p99_ns() / 1_000,
                 rep.cache.hits,
                 rep.cache.misses,
+                rep.cache.errors,
                 rep.cache.evictions,
                 100.0 * rep.cache.hit_rate()
             );
+            if degrade != DegradeMode::Off || rep.degrade.degraded() > 0 {
+                println!(
+                    "  degradation ladder ({}): normal {} rescaled {} shed {} failed {}; \
+                     total shed {:.4}, worst residual overload {:.4}",
+                    degrade.as_flag(),
+                    rep.degrade.normal,
+                    rep.degrade.rescaled,
+                    rep.degrade.shed,
+                    rep.degrade.failed,
+                    rep.total_shed,
+                    rep.worst_overload
+                );
+            }
             for v in rep.violations.iter().take(5) {
                 println!(
                     "  violation: trace {} event {}: {:?}",
@@ -217,6 +293,13 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 std::fs::write(path, rep.to_json())?;
                 println!("  report written to {path}");
             }
+            if let Some(path) = args.get("djson") {
+                std::fs::write(path, rep.deterministic_json())?;
+                println!("  deterministic report written to {path}");
+            }
+            // Exit policy: degraded-but-served events are absorbed (the
+            // ladder did its job); only genuine violations — overloads or
+            // events that served nothing — fail the replay.
             if !rep.congestion_free() {
                 std::process::exit(1);
             }

@@ -7,6 +7,7 @@
 
 pub mod adversary;
 pub mod augment;
+pub mod degrade;
 pub mod dualized;
 pub mod failure;
 pub mod figures;
@@ -22,6 +23,10 @@ pub mod schemes;
 pub mod validate;
 
 pub use augment::{augment_capacity, Augmentation};
+pub use degrade::{
+    degrade_fallback, degrade_routing, normal_routing, overload_bound, peak_utilization,
+    DegradeMode, DegradedRouting, LadderStage,
+};
 pub use failure::{Condition, FailureModel};
 pub use instance::{Instance, InstanceBuilder, LogicalSequence, LsId, PairId, TunnelId};
 pub use logical_flow::{
@@ -46,4 +51,5 @@ pub use schemes::{
 };
 pub use validate::{
     validate_all, validate_scenarios, ArcHotspot, ValidationReport, Violation, ViolationKind,
+    ViolationSummary,
 };

@@ -136,8 +136,12 @@ pub enum RealizeError {
         /// Computed fraction.
         u: f64,
     },
-    /// A pair must carry traffic but has no live reservation at all.
+    /// A pair must carry traffic but has no live reservation at all,
+    /// even though some tunnel or LS of it survived (a plan deficiency).
     NoReservation(PairId),
+    /// A pair must carry traffic but every tunnel and LS of it is dead:
+    /// the failure physically cut the pair off (beyond any plan).
+    Disconnected(PairId),
 }
 
 impl std::fmt::Display for RealizeError {
@@ -154,6 +158,9 @@ impl std::fmt::Display for RealizeError {
                 write!(f, "utilization {u} out of [0,1] for pair {pair:?}")
             }
             RealizeError::NoReservation(p) => write!(f, "no live reservation for pair {p:?}"),
+            RealizeError::Disconnected(p) => {
+                write!(f, "pair {p:?} disconnected: no surviving tunnel or LS")
+            }
         }
     }
 }
@@ -273,10 +280,12 @@ pub fn absolute_tolerance(served: &[f64], tol: f64) -> f64 {
 ///
 /// A pair whose reservation AND whole load (demand plus worst-case
 /// obligations) are both at noise level is dropped; a pair with meaningful
-/// load and no reservation is a genuine violation
-/// ([`RealizeError::NoReservation`]). Exposed so the replay engine can
-/// rebuild the exact system [`realize_routing`] would solve and cache its
-/// factorization.
+/// load and no reservation is a genuine violation —
+/// [`RealizeError::Disconnected`] when every tunnel and LS of the pair is
+/// dead (the failure cut it off), [`RealizeError::NoReservation`] when
+/// something survived but carries no reservation (a plan deficiency).
+/// Exposed so the replay engine can rebuild the exact system
+/// [`realize_routing`] would solve and cache its factorization.
 pub fn live_pairs(
     inst: &Instance,
     state: &FailureState,
@@ -294,13 +303,26 @@ pub fn live_pairs(
             let load_bound: f64 =
                 served[p.0] + state.active_segments(inst, p).map(|q| b[q.0]).sum::<f64>();
             if load_bound > 10.0 * tol_abs {
-                return Err(RealizeError::NoReservation(p));
+                return Err(no_reservation_kind(inst, state, p));
             }
         } else {
             keep.push(p);
         }
     }
     Ok(keep)
+}
+
+/// Classifies a zero-reservation pair: physically cut off
+/// ([`RealizeError::Disconnected`]) vs. alive-but-unreserved
+/// ([`RealizeError::NoReservation`]).
+fn no_reservation_kind(inst: &Instance, state: &FailureState, p: PairId) -> RealizeError {
+    let has_live_structure =
+        state.live_tunnels(inst, p).next().is_some() || state.active_lss(inst, p).next().is_some();
+    if has_live_structure {
+        RealizeError::NoReservation(p)
+    } else {
+        RealizeError::Disconnected(p)
+    }
 }
 
 /// Expands per-pair utilizations into tunnel flows and arc loads
@@ -521,7 +543,7 @@ pub fn proportional_routing(
         let denom: f64 = state.live_tunnels(inst, p).map(|l| a[l.0]).sum::<f64>()
             + state.active_lss(inst, p).map(|q| b[q.0]).sum::<f64>();
         if denom <= tol_abs {
-            return Err(RealizeError::NoReservation(p));
+            return Err(no_reservation_kind(inst, state, p));
         }
         let u = demand_here / denom;
         if u > 1.0 + tol {
@@ -761,6 +783,29 @@ mod tests {
         let a = vec![0.0; inst.num_tunnels()];
         let err = realize_routing(&inst, &state, &a, &[], &[1.0], 1e-7).unwrap_err();
         assert!(matches!(err, RealizeError::NoReservation(_)));
+    }
+
+    #[test]
+    fn routing_reports_disconnection_distinctly() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        // Cut both exits of s: every tunnel of (s,t) is dead, so the pair
+        // is physically disconnected — a different failure class than a
+        // live-but-unreserved pair.
+        let mut dead = vec![false; 4];
+        dead[0] = true;
+        dead[2] = true;
+        let state = FailureState::new(&inst, &dead).unwrap();
+        let a = vec![1.0; inst.num_tunnels()];
+        let err = realize_routing(&inst, &state, &a, &[], &[1.0], 1e-7).unwrap_err();
+        let p = inst.pair_id(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(err, RealizeError::Disconnected(p));
+        assert!(err.to_string().contains("disconnected"));
+        // The proportional path classifies identically.
+        let perr = proportional_routing(&inst, &state, &a, &[], &[1.0], 1e-7).unwrap_err();
+        assert_eq!(perr, RealizeError::Disconnected(p));
     }
 }
 

@@ -78,11 +78,59 @@ pub enum ViolationKind {
     },
 }
 
+/// Violation counts by class — the shape of a failed validation, used by
+/// the CLI to explain *how* an allocation failed (and whether the
+/// degradation ladder would have absorbed it: disconnections are exactly
+/// the scenarios stage 2/3 of `crate::degrade` serve best-effort).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViolationSummary {
+    /// Scenarios where some pair had no surviving tunnel or LS at all.
+    pub disconnected: usize,
+    /// Other realization failures (singular matrix, zero reservations on
+    /// a still-connected pair, bad input).
+    pub realize: usize,
+    /// Arc capacity violations.
+    pub overload: usize,
+}
+
+impl ViolationSummary {
+    /// Total violations summarized.
+    pub fn total(&self) -> usize {
+        self.disconnected + self.realize + self.overload
+    }
+}
+
 impl ValidationReport {
     /// True when every scenario realized a feasible, congestion-free
     /// routing.
     pub fn congestion_free(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Classifies the violation list by failure mode.
+    pub fn summarize(&self) -> ViolationSummary {
+        let mut s = ViolationSummary::default();
+        for v in &self.violations {
+            match &v.kind {
+                ViolationKind::Realize(RealizeError::Disconnected(_)) => s.disconnected += 1,
+                ViolationKind::Realize(_) => s.realize += 1,
+                ViolationKind::Overload { .. } => s.overload += 1,
+            }
+        }
+        s
+    }
+
+    /// Worst residual overload over the violation list:
+    /// `max(load/capacity - 1)` across `Overload` entries, `0.0` when none
+    /// (same convention as `crate::degrade::overload_bound`).
+    pub fn worst_overload(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for v in &self.violations {
+            if let ViolationKind::Overload { load, capacity, .. } = v.kind {
+                worst = worst.max(load / capacity.max(1e-12) - 1.0);
+            }
+        }
+        worst
     }
 }
 
@@ -295,5 +343,30 @@ mod tests {
         let served = vec![2.0];
         let report = validate_all(&inst, &FailureModel::links(1), &a, &[], &served, 1e-6);
         assert!(!report.congestion_free());
+        let summary = report.summarize();
+        assert_eq!(summary.total(), report.violations.len());
+        // Overcommitment either overloads arcs or breaks realization, but
+        // never disconnects: every single-failure scenario leaves a path.
+        assert_eq!(summary.disconnected, 0);
+        assert!(summary.overload + summary.realize > 0);
+        if summary.overload > 0 {
+            assert!(report.worst_overload() > 0.0);
+        }
+    }
+
+    #[test]
+    fn beyond_budget_scenarios_classify_as_disconnected() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let a = vec![0.5; inst.num_tunnels()];
+        let served = vec![1.0];
+        // Validate a 1-failure plan against 2-failure scenarios: masks
+        // killing both of a side's links disconnect the pair.
+        let report = validate_all(&inst, &FailureModel::links(2), &a, &[], &served, 1e-6);
+        let summary = report.summarize();
+        assert!(summary.disconnected > 0, "{summary:?}");
+        assert_eq!(summary.total(), report.violations.len());
     }
 }

@@ -19,27 +19,35 @@
 
 use crate::trace::{EventKind, LinkEvent};
 use pcf_core::{
-    absolute_tolerance, check_utilizations, expand_routing, live_pairs, realize_routing,
-    reservation_matrix, Condition, FailureState, Instance, LsId, PairId, RealizeError, Routing,
-    TunnelId,
+    absolute_tolerance, check_utilizations, degrade_fallback, expand_routing, live_pairs,
+    normal_routing, realize_routing, reservation_matrix, Condition, DegradeMode, DegradedRouting,
+    FailureState, Instance, LadderStage, LsId, PairId, RealizeError, Routing, TunnelId,
 };
 use pcf_lp::{lu_factor, LuFactors};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Hit/miss/eviction counters of the factorization cache.
+///
+/// Error-path realizations are counted in [`CacheStats::errors`] — never
+/// as hits or misses — so [`CacheStats::hit_rate`] measures what the
+/// cache actually accelerates: successful factorizations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Realizations served from a cached factorization.
+    /// Successful realizations served from a cached factorization.
     pub hits: u64,
-    /// Realizations that had to factor from scratch (cold mode counts every
-    /// realization here).
+    /// Successful realizations that had to factor from scratch (cold mode
+    /// counts every successful realization here).
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Realizations that ended in a [`RealizeError`] (fresh or replayed
+    /// from a cached error entry) — kept out of the hit/miss counters.
+    pub errors: u64,
 }
 
 impl CacheStats {
-    /// Fraction of realizations served from cache (0 when none ran).
+    /// Fraction of successful realizations served from cache (0 when none
+    /// ran). Error-path events do not dilute this.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -54,6 +62,42 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.errors += other.errors;
+    }
+}
+
+/// Per-ladder-stage counters of [`ReplayEngine::realize_degraded`]
+/// outcomes (the degradation analogue of [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeStats {
+    /// Events served by the normal congestion-free realization (stage 1).
+    pub normal: u64,
+    /// Events served by the proportional rescale (stage 2).
+    pub rescaled: u64,
+    /// Events served by the max-min fair shedding LP (stage 3).
+    pub shed: u64,
+    /// Events no ladder stage could serve (mode off, or no fallback
+    /// applied) — the only case that still blanks an event.
+    pub failed: u64,
+}
+
+impl DegradeStats {
+    /// Events that fell past stage 1 but were still served.
+    pub fn degraded(&self) -> u64 {
+        self.rescaled + self.shed
+    }
+
+    /// All realizations counted.
+    pub fn total(&self) -> u64 {
+        self.normal + self.rescaled + self.shed + self.failed
+    }
+
+    /// Accumulates another engine's counters (batch aggregation).
+    pub fn absorb(&mut self, other: &DegradeStats) {
+        self.normal += other.normal;
+        self.rescaled += other.rescaled;
+        self.shed += other.shed;
+        self.failed += other.failed;
     }
 }
 
@@ -88,16 +132,16 @@ impl FactorCache {
     }
 
     /// Returns the entry for `sig`, computing and inserting it on a miss
-    /// (evicting the oldest signature when full).
+    /// (evicting the oldest signature when full). Error entries are cached
+    /// like any other (replaying the same bad state must not re-factor),
+    /// but they count as [`CacheStats::errors`], not hits or misses.
     fn lookup_or_insert(
         &mut self,
         sig: Vec<u64>,
         compute: impl FnOnce() -> CacheEntry,
     ) -> &CacheEntry {
-        if self.entries.contains_key(&sig) {
-            self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
+        let was_cached = self.entries.contains_key(&sig);
+        if !was_cached {
             if self.entries.len() >= self.capacity {
                 if let Some(old) = self.order.pop_front() {
                     self.entries.remove(&old);
@@ -107,7 +151,13 @@ impl FactorCache {
             self.order.push_back(sig.clone());
             self.entries.insert(sig.clone(), compute());
         }
-        &self.entries[&sig]
+        let entry = &self.entries[&sig];
+        match entry {
+            Err(_) => self.stats.errors += 1,
+            Ok(_) if was_cached => self.stats.hits += 1,
+            Ok(_) => self.stats.misses += 1,
+        }
+        entry
     }
 }
 
@@ -136,6 +186,14 @@ pub struct ReplayEngine<'a> {
     lss_on_link: Vec<Vec<LsId>>,
     cache: Option<FactorCache>,
     cold_stats: CacheStats,
+    // Nominal per-link capacities and the ones currently in effect
+    // (wobble events scale entries of `caps`).
+    nominal_caps: Vec<f64>,
+    caps: Vec<f64>,
+    degrade: DegradeMode,
+    dstats: DegradeStats,
+    // Fault-injection hook: pretend every factorization is singular.
+    force_singular: bool,
 }
 
 impl<'a> ReplayEngine<'a> {
@@ -189,7 +247,36 @@ impl<'a> ReplayEngine<'a> {
             lss_on_link,
             cache: (cache_capacity > 0).then(|| FactorCache::new(cache_capacity)),
             cold_stats: CacheStats::default(),
+            nominal_caps: inst
+                .topo()
+                .links()
+                .map(|l| inst.topo().capacity(l))
+                .collect(),
+            caps: inst
+                .topo()
+                .links()
+                .map(|l| inst.topo().capacity(l))
+                .collect(),
+            degrade: DegradeMode::Off,
+            dstats: DegradeStats::default(),
+            force_singular: false,
         }
+    }
+
+    /// Selects how far down the degradation ladder
+    /// [`ReplayEngine::realize_degraded`] may fall (default:
+    /// [`DegradeMode::Off`]).
+    pub fn set_degrade(&mut self, mode: DegradeMode) {
+        self.degrade = mode;
+    }
+
+    /// Fault-injection hook: while set, every realization behaves as if
+    /// `lu_factor` failed ([`RealizeError::SingularMatrix`]). The failure
+    /// is synthesized *before* the cache is consulted, so no poisoned
+    /// entry is ever stored and cache counters don't move — exactly the
+    /// isolation the degradation ladder promises for degraded results.
+    pub fn force_singular(&mut self, on: bool) {
+        self.force_singular = on;
     }
 
     /// Applies one link event. Idempotent events (down while down, up while
@@ -214,6 +301,13 @@ impl<'a> ReplayEngine<'a> {
                     return Ok(());
                 }
                 false
+            }
+            EventKind::Wobble { permille } => {
+                // Capacity changes don't touch liveness (or the cache
+                // signature — realization is capacity-blind); they only
+                // move the bar overload checks measure against.
+                self.caps[e] = self.nominal_caps[e] * (permille as f64 / 1000.0);
+                return Ok(());
             }
         };
         self.fs.dead[e] = goes_down;
@@ -266,10 +360,20 @@ impl<'a> ReplayEngine<'a> {
     /// full factorization once. Results — including errors — are identical
     /// to calling [`realize_routing`] on [`ReplayEngine::state`].
     pub fn realize(&mut self) -> Result<Routing, RealizeError> {
+        if self.force_singular {
+            // Injected failure: reported before the cache is consulted so
+            // it can neither store nor serve a poisoned entry.
+            return Err(RealizeError::SingularMatrix);
+        }
         let state = &self.fs;
         let Some(cache) = self.cache.as_mut() else {
-            self.cold_stats.misses += 1;
-            return realize_routing(self.inst, state, self.a, self.b, self.served, self.tol);
+            let res = realize_routing(self.inst, state, self.a, self.b, self.served, self.tol);
+            if res.is_err() {
+                self.cold_stats.errors += 1;
+            } else {
+                self.cold_stats.misses += 1;
+            }
+            return res;
         };
         let (inst, a, b, served, tol) = (self.inst, self.a, self.b, self.served, self.tol);
         let entry = cache.lookup_or_insert(self.sig.clone(), || {
@@ -299,7 +403,64 @@ impl<'a> ReplayEngine<'a> {
         }
     }
 
-    /// Cache counters so far (in cold mode: every realization is a miss).
+    /// Realizes the current state through the degradation ladder: the
+    /// normal (cached) realization first, then — on error and if
+    /// [`ReplayEngine::set_degrade`] allows — the rescale and shed
+    /// fallbacks of [`pcf_core::degrade`].
+    ///
+    /// Degraded results are computed outside the factor cache and are
+    /// never stored in it: the cache holds only congestion-free
+    /// factorizations, so a later identical state realizing normally can
+    /// never be served a best-effort routing by mistake.
+    pub fn realize_degraded(&mut self) -> Result<DegradedRouting, RealizeError> {
+        match self.realize() {
+            Ok(routing) => {
+                self.dstats.normal += 1;
+                Ok(normal_routing(self.inst, routing, &self.caps))
+            }
+            Err(err) => {
+                let fallback = degrade_fallback(
+                    self.inst,
+                    &self.fs,
+                    self.a,
+                    self.b,
+                    self.served,
+                    self.tol,
+                    &self.caps,
+                    self.degrade,
+                    err,
+                );
+                match &fallback {
+                    Ok(d) => match d.ladder_stage {
+                        LadderStage::Normal => self.dstats.normal += 1,
+                        LadderStage::Rescaled => self.dstats.rescaled += 1,
+                        LadderStage::Shed => self.dstats.shed += 1,
+                    },
+                    Err(_) => self.dstats.failed += 1,
+                }
+                fallback
+            }
+        }
+    }
+
+    /// Ladder-stage counters of [`ReplayEngine::realize_degraded`] so far.
+    pub fn degrade_stats(&self) -> DegradeStats {
+        self.dstats
+    }
+
+    /// The capacity of `link` currently in effect (nominal unless a
+    /// wobble event rescaled it).
+    pub fn capacity(&self, link: pcf_topology::LinkId) -> f64 {
+        self.caps[link.index()]
+    }
+
+    /// All per-link capacities currently in effect.
+    pub fn capacities(&self) -> &[f64] {
+        &self.caps
+    }
+
+    /// Cache counters so far (in cold mode: every successful realization
+    /// is a miss).
     pub fn cache_stats(&self) -> CacheStats {
         match &self.cache {
             Some(c) => c.stats,
@@ -417,6 +578,107 @@ mod tests {
             engine.apply(&bad),
             Err(RealizeError::MaskLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn forced_singular_engages_ladder_without_touching_cache() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 64);
+        engine.set_degrade(DegradeMode::Shed);
+        // Warm the cache with one normal realization.
+        engine.realize_degraded().unwrap();
+        let warm_entries = engine.cached_entries();
+        let warm_stats = engine.cache_stats();
+        assert_eq!(engine.degrade_stats().normal, 1);
+
+        // Force lu_factor failure: the ladder must serve stage 2, and the
+        // cache must be completely untouched (no poisoned entry, no
+        // counter movement) — the cache-exclusion invariant.
+        engine.force_singular(true);
+        for _ in 0..5 {
+            let d = engine.realize_degraded().unwrap();
+            assert_eq!(d.ladder_stage, pcf_core::LadderStage::Rescaled);
+            // No failure at all: the rescale serves the full demand.
+            assert!(d.shed_demand <= 1e-6 * (1.0 + served.iter().sum::<f64>()));
+        }
+        assert_eq!(engine.cached_entries(), warm_entries);
+        assert_eq!(engine.cache_stats(), warm_stats);
+        assert_eq!(engine.degrade_stats().rescaled, 5);
+
+        // Off mode surfaces the injected error and counts a failure.
+        engine.set_degrade(DegradeMode::Off);
+        assert_eq!(
+            engine.realize_degraded().unwrap_err(),
+            RealizeError::SingularMatrix
+        );
+        assert_eq!(engine.degrade_stats().failed, 1);
+
+        // Releasing the hook restores normal service (cache hit).
+        engine.force_singular(false);
+        engine.set_degrade(DegradeMode::Shed);
+        let d = engine.realize_degraded().unwrap();
+        assert_eq!(d.ladder_stage, pcf_core::LadderStage::Normal);
+        assert_eq!(engine.cache_stats().hits, warm_stats.hits + 1);
+    }
+
+    #[test]
+    fn wobble_rescales_capacity_without_touching_liveness() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 16);
+        let link = pcf_topology::LinkId(0);
+        let nominal = inst.topo().capacity(link);
+        let sig_before = engine.state().liveness_signature();
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Wobble { permille: 250 },
+            })
+            .unwrap();
+        assert!((engine.capacity(link) - 0.25 * nominal).abs() < 1e-12);
+        assert_eq!(engine.dead_links(), 0);
+        assert_eq!(engine.state().liveness_signature(), sig_before);
+        // Restore.
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Wobble { permille: 1000 },
+            })
+            .unwrap();
+        assert!((engine.capacity(link) - nominal).abs() < 1e-12);
+        // Out-of-range wobbles are rejected like any other event.
+        assert!(engine
+            .apply(&LinkEvent {
+                link: pcf_topology::LinkId(10_000),
+                kind: EventKind::Wobble { permille: 500 },
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn error_events_count_as_errors_not_misses() {
+        let (inst, a, b, served) = sprint_plan();
+        // Served demand but zero reservations: every realization errors.
+        let zero_a = vec![0.0; a.len()];
+        let zero_b = vec![0.0; b.len()];
+        let mut engine = ReplayEngine::new(&inst, &zero_a, &zero_b, &served, 1e-6, 16);
+        for _ in 0..3 {
+            assert!(engine.realize().is_err());
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.errors, 3, "{stats:?}");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+        // Cold mode classifies identically.
+        let mut cold = ReplayEngine::new(&inst, &zero_a, &zero_b, &served, 1e-6, 0);
+        assert!(cold.realize().is_err());
+        assert_eq!(cold.cache_stats().errors, 1);
+        assert_eq!(cold.cache_stats().misses, 0);
+        // absorb carries the error counter.
+        let mut merged = CacheStats::default();
+        merged.absorb(&stats);
+        merged.absorb(&cold.cache_stats());
+        assert_eq!(merged.errors, 4);
     }
 
     #[test]

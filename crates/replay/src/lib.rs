@@ -13,18 +13,31 @@
 //!   ([`engine`]);
 //! * [`replay_trace`] / [`replay_batch`] — sequential and multi-threaded
 //!   replay drivers producing a [`ReplayReport`] (per-event utilization,
-//!   violation log, latency percentiles, cache counters) ([`report`]).
+//!   ladder stage and shed demand, violation log, latency percentiles,
+//!   cache counters) ([`report`]);
+//! * [`FaultInjector`] — deterministic adversarial traces (beyond-budget
+//!   bursts, capacity wobble, corrupt trace text) that push replays past
+//!   the failure budget the plan was solved for ([`inject`]).
+//!
+//! Beyond-budget events don't abort the replay: with a
+//! [`DegradeMode`](pcf_core::DegradeMode) selected, the engine walks
+//! `pcf_core::degrade`'s ladder (exact → rescale → shed) and every event
+//! still reports a routing plus the stage that produced it. Degraded
+//! routings never enter the factor cache.
 //!
 //! Cached and cold replays run the same numerical code and produce
 //! bit-identical routings; the property tests in this crate hold the
 //! engine to that.
 
 pub mod engine;
+pub mod inject;
 pub mod report;
 pub mod trace;
 
-pub use engine::{CacheStats, ReplayEngine};
+pub use engine::{CacheStats, DegradeStats, ReplayEngine};
+pub use inject::FaultInjector;
 pub use report::{
-    replay_batch, replay_trace, LatencyHistogram, ReplayOptions, ReplayReport, ReplayViolation,
+    replay_batch, replay_trace, EventStage, LatencyHistogram, ReplayOptions, ReplayReport,
+    ReplayViolation,
 };
 pub use trace::{EventKind, EventTrace, LinkEvent, TraceParseError};

@@ -10,9 +10,9 @@
 //! thread count: every trace is independent and reports merge in trace
 //! order.
 
-use crate::engine::{CacheStats, ReplayEngine};
+use crate::engine::{CacheStats, DegradeStats, ReplayEngine};
 use crate::trace::EventTrace;
-use pcf_core::{Instance, ViolationKind};
+use pcf_core::{DegradeMode, Instance, LadderStage, ViolationKind};
 // audit:allow(no-wallclock-in-solver, the latency histogram is measurement output and never feeds routing decisions)
 use std::time::Instant;
 
@@ -27,6 +27,12 @@ pub struct ReplayOptions {
     /// Worker threads for [`replay_batch`]. `0` means "use
     /// [`std::thread::available_parallelism`]"; `1` replays inline.
     pub threads: usize,
+    /// How far down the degradation ladder beyond-budget events may fall
+    /// (default [`DegradeMode::Off`]: they stay realize violations).
+    pub degrade: DegradeMode,
+    /// Stop each trace at its first violation (in a batch, every trace
+    /// stops independently — merged reports stay thread-count invariant).
+    pub fail_fast: bool,
 }
 
 impl Default for ReplayOptions {
@@ -35,6 +41,56 @@ impl Default for ReplayOptions {
             tol: 1e-6,
             cache_capacity: 1024,
             threads: 0,
+            degrade: DegradeMode::Off,
+            fail_fast: false,
+        }
+    }
+}
+
+/// How one replayed event was served — the per-event view of the
+/// degradation ladder ([`LadderStage`] plus the "nothing served" case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventStage {
+    /// Normal congestion-free realization.
+    Normal,
+    /// Proportional rescale (ladder stage 2).
+    Rescaled,
+    /// Max-min fair shedding LP (ladder stage 3).
+    Shed,
+    /// Realization failed and no fallback applied: the event served
+    /// nothing (only possible with [`DegradeMode::Off`] or an apply
+    /// error).
+    Failed,
+}
+
+impl EventStage {
+    /// Stable short name (reports, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventStage::Normal => "normal",
+            EventStage::Rescaled => "rescaled",
+            EventStage::Shed => "shed",
+            EventStage::Failed => "failed",
+        }
+    }
+
+    /// Stable numeric code folded into deterministic digests.
+    pub fn code(self) -> u8 {
+        match self {
+            EventStage::Normal => 0,
+            EventStage::Rescaled => 1,
+            EventStage::Shed => 2,
+            EventStage::Failed => 3,
+        }
+    }
+}
+
+impl From<LadderStage> for EventStage {
+    fn from(s: LadderStage) -> Self {
+        match s {
+            LadderStage::Normal => EventStage::Normal,
+            LadderStage::Rescaled => EventStage::Rescaled,
+            LadderStage::Shed => EventStage::Shed,
         }
     }
 }
@@ -125,6 +181,19 @@ pub struct ReplayReport {
     pub latency: LatencyHistogram,
     /// Factorization-cache counters (batches sum per-engine counters).
     pub cache: CacheStats,
+    /// Which ladder stage served each event, in event order (parallel to
+    /// `event_utilization`).
+    pub event_stage: Vec<EventStage>,
+    /// Demand shed at each event (0 for normal events; the whole served
+    /// demand for failed ones).
+    pub event_shed: Vec<f64>,
+    /// Sum of `event_shed`.
+    pub total_shed: f64,
+    /// Worst residual arc overload over all events:
+    /// `max(0, load / capacity − 1)` against the capacities in effect.
+    pub worst_overload: f64,
+    /// Ladder-stage counters (batches sum per-engine counters).
+    pub degrade: DegradeStats,
 }
 
 impl ReplayReport {
@@ -142,6 +211,11 @@ impl ReplayReport {
             violations: Vec::new(),
             latency: LatencyHistogram::default(),
             cache: CacheStats::default(),
+            event_stage: Vec::new(),
+            event_shed: Vec::new(),
+            total_shed: 0.0,
+            worst_overload: 0.0,
+            degrade: DegradeStats::default(),
         };
         for r in reports {
             out.events += r.events;
@@ -151,6 +225,11 @@ impl ReplayReport {
             out.violations.extend_from_slice(&r.violations);
             out.latency.absorb(&r.latency);
             out.cache.absorb(&r.cache);
+            out.event_stage.extend_from_slice(&r.event_stage);
+            out.event_shed.extend_from_slice(&r.event_shed);
+            out.total_shed += r.total_shed;
+            out.worst_overload = out.worst_overload.max(r.worst_overload);
+            out.degrade.absorb(&r.degrade);
         }
         out
     }
@@ -166,13 +245,26 @@ impl ReplayReport {
         // FNV-1a over the exact f64 bit patterns: any nondeterminism in
         // the realization path shows up as a digest mismatch even when
         // the rounded summary fields happen to agree.
-        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
-        for &u in &self.event_utilization {
-            for byte in u.to_bits().to_le_bytes() {
+        let fnv = |bytes: &mut dyn Iterator<Item = u8>| -> u64 {
+            let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in bytes {
                 digest ^= u64::from(byte);
                 digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
             }
-        }
+            digest
+        };
+        let digest = fnv(&mut self
+            .event_utilization
+            .iter()
+            .flat_map(|u| u.to_bits().to_le_bytes()));
+        // The per-event ladder stages and shed amounts get their own
+        // digest so degraded replays are held to the same byte-identity
+        // bar as utilizations.
+        let degrade_digest = fnv(&mut self.event_stage.iter().map(|s| s.code()).chain(
+            self.event_shed
+                .iter()
+                .flat_map(|s| s.to_bits().to_le_bytes()),
+        ));
         let mut violations = String::new();
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
@@ -186,7 +278,10 @@ impl ReplayReport {
         format!(
             "{{\n  \"events\": {},\n  \"max_utilization\": \"{:x}\",\n  \
              \"utilization_digest\": \"{:016x}\",\n  \"violations\": [{}],\n  \
-             \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {} }}\n}}\n",
+             \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"errors\": {} }},\n  \
+             \"degrade\": {{ \"normal\": {}, \"rescaled\": {}, \"shed\": {}, \"failed\": {} }},\n  \
+             \"total_shed\": \"{:x}\",\n  \"worst_overload\": \"{:x}\",\n  \
+             \"degrade_digest\": \"{:016x}\"\n}}\n",
             self.events,
             self.max_utilization.to_bits(),
             digest,
@@ -194,6 +289,14 @@ impl ReplayReport {
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            self.cache.errors,
+            self.degrade.normal,
+            self.degrade.rescaled,
+            self.degrade.shed,
+            self.degrade.failed,
+            self.total_shed.to_bits(),
+            self.worst_overload.to_bits(),
+            degrade_digest,
         )
     }
 
@@ -203,7 +306,9 @@ impl ReplayReport {
         format!(
             "{{\n  \"events\": {},\n  \"max_utilization\": {:.6},\n  \"violations\": {},\n  \
              \"latency_ns\": {{ \"p50\": {}, \"p99\": {}, \"mean\": {:.1} }},\n  \
-             \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }}\n}}\n",
+             \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"errors\": {}, \"hit_rate\": {:.4} }},\n  \
+             \"degrade\": {{ \"normal\": {}, \"rescaled\": {}, \"shed\": {}, \"failed\": {} }},\n  \
+             \"total_shed\": {:.6},\n  \"worst_overload\": {:.6}\n}}\n",
             self.events,
             self.max_utilization,
             self.violations.len(),
@@ -213,7 +318,14 @@ impl ReplayReport {
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
+            self.cache.errors,
             self.cache.hit_rate(),
+            self.degrade.normal,
+            self.degrade.rescaled,
+            self.degrade.shed,
+            self.degrade.failed,
+            self.total_shed,
+            self.worst_overload,
         )
     }
 }
@@ -243,8 +355,14 @@ fn replay_indexed(
 ) -> ReplayReport {
     let topo = inst.topo();
     let mut engine = ReplayEngine::new(inst, a, b, served, opts.tol, opts.cache_capacity);
+    engine.set_degrade(opts.degrade);
+    let total_served: f64 = served.iter().sum();
     let mut event_utilization = Vec::with_capacity(trace.len());
+    let mut event_stage = Vec::with_capacity(trace.len());
+    let mut event_shed = Vec::with_capacity(trace.len());
     let mut max_utilization = 0.0f64;
+    let mut total_shed = 0.0f64;
+    let mut worst_overload = 0.0f64;
     let mut violations = Vec::new();
     let mut latency = LatencyHistogram::default();
     for (i, ev) in trace.events.iter().enumerate() {
@@ -255,11 +373,17 @@ fn replay_indexed(
                 kind: ViolationKind::Realize(e),
             });
             event_utilization.push(0.0);
+            event_stage.push(EventStage::Failed);
+            event_shed.push(total_served);
+            total_shed += total_served;
+            if opts.fail_fast {
+                break;
+            }
             continue;
         }
         // audit:allow(no-wallclock-in-solver, timing wraps the realization call; the result is unaffected)
         let t0 = Instant::now();
-        let realized = engine.realize();
+        let realized = engine.realize_degraded();
         latency.record(t0.elapsed().as_nanos() as u64);
         match realized {
             Err(e) => {
@@ -269,13 +393,23 @@ fn replay_indexed(
                     kind: ViolationKind::Realize(e),
                 });
                 event_utilization.push(0.0);
+                event_stage.push(EventStage::Failed);
+                event_shed.push(total_served);
+                total_shed += total_served;
+                if opts.fail_fast {
+                    break;
+                }
             }
-            Ok(routing) => {
+            Ok(degraded) => {
                 let mut peak = 0.0f64;
+                let mut overloaded = false;
                 for arc in topo.arcs() {
-                    let load = routing.arc_loads[arc.index()];
-                    let cap = topo.capacity(arc.link());
+                    let load = degraded.routing.arc_loads[arc.index()];
+                    // Overloads are judged against the capacities in
+                    // effect (wobble events rescale them), not nominal.
+                    let cap = engine.capacity(arc.link());
                     if load > cap * (1.0 + opts.tol) + opts.tol {
+                        overloaded = true;
                         violations.push(ReplayViolation {
                             trace: trace_idx,
                             event: i,
@@ -290,16 +424,28 @@ fn replay_indexed(
                 }
                 event_utilization.push(peak);
                 max_utilization = max_utilization.max(peak);
+                event_stage.push(EventStage::from(degraded.ladder_stage));
+                event_shed.push(degraded.shed_demand);
+                total_shed += degraded.shed_demand;
+                worst_overload = worst_overload.max(degraded.overload_bound);
+                if overloaded && opts.fail_fast {
+                    break;
+                }
             }
         }
     }
     ReplayReport {
-        events: trace.len(),
+        events: event_utilization.len(),
         event_utilization,
         max_utilization,
         violations,
         latency,
         cache: engine.cache_stats(),
+        event_stage,
+        event_shed,
+        total_shed,
+        worst_overload,
+        degrade: engine.degrade_stats(),
     }
 }
 
@@ -484,5 +630,97 @@ mod tests {
         assert!(json.contains("\"events\": 20"));
         assert!(json.contains("\"hit_rate\""));
         assert!(json.contains("\"p99\""));
+        assert!(json.contains("\"degrade\""));
+        assert!(json.contains("\"worst_overload\""));
+    }
+
+    /// A trace whose bursts fail far more links than the plan's budget,
+    /// so realization errors (disconnections) are guaranteed.
+    fn beyond_budget_trace(inst: &Instance, seed: u64) -> EventTrace {
+        crate::inject::FaultInjector::new(seed).beyond_budget_bursts(inst.topo(), 4, 9)
+    }
+
+    #[test]
+    fn beyond_budget_replay_degrades_instead_of_failing() {
+        let (inst, a, b, served) = sprint_plan(1);
+        let trace = beyond_budget_trace(&inst, 41);
+        let off = replay_trace(&inst, &a, &b, &served, &trace, &ReplayOptions::default());
+        // Without the ladder the deep bursts surface as realize failures
+        // with blank (zero-utilization, full-shed) events.
+        assert!(
+            off.event_stage.contains(&EventStage::Failed),
+            "burst trace never overwhelmed the plan; stages {:?}",
+            off.degrade
+        );
+        assert!(!off.congestion_free());
+        // With shedding the serving path is total: every event carries a
+        // stage, none of them Failed, and stage 2/3 demonstrably engaged.
+        let opts = ReplayOptions {
+            degrade: DegradeMode::Shed,
+            ..ReplayOptions::default()
+        };
+        let shed = replay_trace(&inst, &a, &b, &served, &trace, &opts);
+        assert_eq!(shed.events, trace.len());
+        assert_eq!(shed.event_stage.len(), trace.len());
+        assert_eq!(shed.event_shed.len(), trace.len());
+        assert!(!shed.event_stage.contains(&EventStage::Failed));
+        assert!(shed.degrade.degraded() > 0, "{:?}", shed.degrade);
+        assert_eq!(shed.degrade.failed, 0);
+        assert_eq!(shed.degrade.total(), trace.len() as u64);
+        assert!(shed.total_shed > 0.0);
+        // Shed routings are capacity-feasible, so no replay violations.
+        assert!(
+            shed.congestion_free(),
+            "violations: {:?}",
+            &shed.violations[..shed.violations.len().min(3)]
+        );
+    }
+
+    #[test]
+    fn fail_fast_stops_at_the_first_violation() {
+        let (inst, a, b, mut served) = sprint_plan(1);
+        for s in &mut served {
+            *s *= 50.0;
+        }
+        let trace = EventTrace::flaps(inst.topo(), 50, 1, 21);
+        let opts = ReplayOptions {
+            fail_fast: true,
+            ..ReplayOptions::default()
+        };
+        let report = replay_trace(&inst, &a, &b, &served, &trace, &opts);
+        assert!(!report.congestion_free());
+        assert!(report.events < trace.len(), "fail-fast replayed everything");
+        // The per-event vectors stay aligned with the truncated count.
+        assert_eq!(report.event_utilization.len(), report.events);
+        assert_eq!(report.event_stage.len(), report.events);
+        assert_eq!(report.event_shed.len(), report.events);
+    }
+
+    #[test]
+    fn degraded_batch_is_deterministic_across_thread_counts() {
+        let (inst, a, b, served) = sprint_plan(1);
+        let traces: Vec<EventTrace> = (0..6)
+            .map(|s| beyond_budget_trace(&inst, 500 + s))
+            .collect();
+        let run = |threads: usize| {
+            let opts = ReplayOptions {
+                threads,
+                degrade: DegradeMode::Shed,
+                ..ReplayOptions::default()
+            };
+            replay_batch(&inst, &a, &b, &served, &traces, &opts)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(serial.degrade.degraded() > 0);
+        assert_eq!(serial.event_stage, parallel.event_stage);
+        assert_eq!(serial.event_shed, parallel.event_shed);
+        assert_eq!(serial.degrade, parallel.degrade);
+        assert_eq!(
+            serial.deterministic_json(),
+            parallel.deterministic_json(),
+            "degraded replays diverged across thread counts"
+        );
+        assert!(serial.deterministic_json().contains("\"degrade_digest\""));
     }
 }

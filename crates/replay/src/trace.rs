@@ -28,6 +28,13 @@ pub enum EventKind {
     Down,
     /// The link is repaired.
     Up,
+    /// The link's capacity changes to `permille`/1000 of nominal (an
+    /// integer so event equality and trace round-trips stay exact).
+    /// `1000` restores nominal capacity; values above it model headroom.
+    Wobble {
+        /// New capacity in thousandths of the nominal one.
+        permille: u32,
+    },
 }
 
 /// One link state change.
@@ -35,7 +42,7 @@ pub enum EventKind {
 pub struct LinkEvent {
     /// The link whose state flips.
     pub link: LinkId,
-    /// Down or up.
+    /// Down, up, or a capacity wobble.
     pub kind: EventKind,
 }
 
@@ -215,49 +222,78 @@ impl EventTrace {
         )
     }
 
-    /// Parses the scripted format: one `down <link>` or `up <link>` per
-    /// line; blank lines and `#` comments are ignored. Links are given by
-    /// index, with or without the `e` prefix the CLI prints (`down 3` and
-    /// `down e3` are the same event).
+    /// Parses the scripted format: one `down <link>`, `up <link>`, or
+    /// `wobble <link> <permille>` per line; blank lines and `#` comments
+    /// are ignored. Links are given by index, with or without the `e`
+    /// prefix the CLI prints (`down 3` and `down e3` are the same event).
+    ///
+    /// This lenient form accepts any link index and idempotent events
+    /// (the engine treats them as no-ops); use
+    /// [`EventTrace::parse_strict`] to validate a trace against a
+    /// concrete topology.
     pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, TraceParseError> {
-        let mut events = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            let mut parts = line.split_whitespace();
-            let verb = parts.next().expect("non-empty line");
-            let kind = match verb {
-                "down" => EventKind::Down,
-                "up" => EventKind::Up,
-                other => {
-                    return Err(TraceParseError {
-                        line: i + 1,
-                        message: format!("expected `down` or `up`, got {other:?}"),
-                    })
-                }
-            };
-            let arg = parts.next().ok_or_else(|| TraceParseError {
-                line: i + 1,
-                message: format!("`{verb}` needs a link index"),
-            })?;
-            let digits = arg.strip_prefix('e').unwrap_or(arg);
-            let link: u32 = digits.parse().map_err(|_| TraceParseError {
-                line: i + 1,
-                message: format!("bad link index {arg:?}"),
-            })?;
-            if let Some(extra) = parts.next() {
+        let events = parse_events(text)?.into_iter().map(|(_, e)| e).collect();
+        Ok(EventTrace::new(name, events))
+    }
+
+    /// Parses like [`EventTrace::parse`], then validates every event
+    /// against `topo`, reporting the offending line number:
+    ///
+    /// * link indices must exist in the topology;
+    /// * `down` of an already-dead link and `up` of an alive one are
+    ///   rejected (duplicate / contradictory state changes usually mean
+    ///   a corrupt or misordered trace);
+    /// * `wobble` permille must be in `1..=2000` (a zero-capacity link
+    ///   should be scripted as `down`).
+    pub fn parse_strict(
+        name: impl Into<String>,
+        text: &str,
+        topo: &Topology,
+    ) -> Result<Self, TraceParseError> {
+        let tagged = parse_events(text)?;
+        let mut dead = vec![false; topo.link_count()];
+        for &(line, e) in &tagged {
+            let idx = e.link.index();
+            if idx >= topo.link_count() {
                 return Err(TraceParseError {
-                    line: i + 1,
-                    message: format!("trailing token {extra:?}"),
+                    line,
+                    message: format!(
+                        "unknown link e{idx}: topology {:?} has {} links",
+                        topo.name(),
+                        topo.link_count()
+                    ),
                 });
             }
-            events.push(LinkEvent {
-                link: LinkId(link),
-                kind,
-            });
+            match e.kind {
+                EventKind::Down => {
+                    if dead[idx] {
+                        return Err(TraceParseError {
+                            line,
+                            message: format!("duplicate down: link e{idx} is already down"),
+                        });
+                    }
+                    dead[idx] = true;
+                }
+                EventKind::Up => {
+                    if !dead[idx] {
+                        return Err(TraceParseError {
+                            line,
+                            message: format!("spurious up: link e{idx} is not down"),
+                        });
+                    }
+                    dead[idx] = false;
+                }
+                EventKind::Wobble { permille } => {
+                    if permille == 0 || permille > 2000 {
+                        return Err(TraceParseError {
+                            line,
+                            message: format!("wobble permille {permille} out of range 1..=2000"),
+                        });
+                    }
+                }
+            }
         }
+        let events = tagged.into_iter().map(|(_, e)| e).collect();
         Ok(EventTrace::new(name, events))
     }
 
@@ -266,14 +302,87 @@ impl EventTrace {
         let mut out = String::with_capacity(8 * self.events.len() + self.name.len() + 3);
         out.push_str(&format!("# {}\n", self.name));
         for e in &self.events {
-            let verb = match e.kind {
-                EventKind::Down => "down",
-                EventKind::Up => "up",
-            };
-            out.push_str(&format!("{verb} {}\n", e.link.index()));
+            match e.kind {
+                EventKind::Down => out.push_str(&format!("down {}\n", e.link.index())),
+                EventKind::Up => out.push_str(&format!("up {}\n", e.link.index())),
+                EventKind::Wobble { permille } => {
+                    out.push_str(&format!("wobble {} {permille}\n", e.link.index()))
+                }
+            }
         }
         out
     }
+}
+
+/// The shared scripted-format reader: events tagged with their 1-based
+/// source line so strict validation can point at the offending entry.
+fn parse_events(text: &str) -> Result<Vec<(usize, LinkEvent)>, TraceParseError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut parts = line.split_whitespace();
+        let Some(verb) = parts.next() else {
+            continue; // blank or comment-only line
+        };
+        let lineno = i + 1;
+        let event = match verb {
+            "down" => LinkEvent {
+                link: next_link(&mut parts, "down", lineno)?,
+                kind: EventKind::Down,
+            },
+            "up" => LinkEvent {
+                link: next_link(&mut parts, "up", lineno)?,
+                kind: EventKind::Up,
+            },
+            "wobble" => {
+                let link = next_link(&mut parts, "wobble", lineno)?;
+                let arg = parts.next().ok_or_else(|| TraceParseError {
+                    line: lineno,
+                    message: "`wobble` needs a permille after the link".to_string(),
+                })?;
+                let permille: u32 = arg.parse().map_err(|_| TraceParseError {
+                    line: lineno,
+                    message: format!("bad wobble permille {arg:?}"),
+                })?;
+                LinkEvent {
+                    link,
+                    kind: EventKind::Wobble { permille },
+                }
+            }
+            other => {
+                return Err(TraceParseError {
+                    line: lineno,
+                    message: format!("expected `down`, `up`, or `wobble`, got {other:?}"),
+                })
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(TraceParseError {
+                line: lineno,
+                message: format!("trailing token {extra:?}"),
+            });
+        }
+        events.push((lineno, event));
+    }
+    Ok(events)
+}
+
+/// Reads and parses the `<link>` argument of a trace verb.
+fn next_link(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    verb: &str,
+    lineno: usize,
+) -> Result<LinkId, TraceParseError> {
+    let arg = parts.next().ok_or_else(|| TraceParseError {
+        line: lineno,
+        message: format!("`{verb}` needs a link index"),
+    })?;
+    let digits = arg.strip_prefix('e').unwrap_or(arg);
+    let link: u32 = digits.parse().map_err(|_| TraceParseError {
+        line: lineno,
+        message: format!("bad link index {arg:?}"),
+    })?;
+    Ok(LinkId(link))
 }
 
 #[cfg(test)]
@@ -349,9 +458,65 @@ mod tests {
         assert!(EventTrace::parse("t", "down").is_err());
         assert!(EventTrace::parse("t", "down x").is_err());
         assert!(EventTrace::parse("t", "down 1 2").is_err());
+        assert!(EventTrace::parse("t", "wobble 1").is_err());
+        assert!(EventTrace::parse("t", "wobble 1 x").is_err());
         // Comments and blanks are fine; the printed `e<idx>` form parses.
         let ok = EventTrace::parse("t", "# header\n\ndown 1 # inline\nup e1\n").unwrap();
         assert_eq!(ok.len(), 2);
         assert_eq!(ok.events[0].link, ok.events[1].link);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = EventTrace::parse("t", "down 1\n\n# fine\nbogus 2\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("line 4"), "{err}");
+        let err = EventTrace::parse("t", "up 1\ndown\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn wobble_round_trips_through_text() {
+        let t = EventTrace::new(
+            "wobbly",
+            vec![
+                LinkEvent {
+                    link: LinkId(2),
+                    kind: EventKind::Wobble { permille: 850 },
+                },
+                LinkEvent {
+                    link: LinkId(2),
+                    kind: EventKind::Wobble { permille: 1000 },
+                },
+            ],
+        );
+        assert_eq!(EventTrace::parse("wobbly", &t.to_text()).unwrap(), t);
+        // Wobbles never count as concurrent failures.
+        assert_eq!(t.max_concurrent_down(), 0);
+    }
+
+    #[test]
+    fn strict_parse_validates_against_the_topology() {
+        let topo = zoo::build("Sprint"); // 17 links
+        let ok = EventTrace::parse_strict("t", "down 3\nwobble 4 500\nup 3\n", &topo);
+        assert_eq!(ok.unwrap().len(), 3);
+        // Unknown link, with the line number.
+        let err = EventTrace::parse_strict("t", "down 3\ndown 99\n", &topo).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown link e99"), "{err}");
+        // Duplicate down / spurious up.
+        let err = EventTrace::parse_strict("t", "down 3\ndown 3\n", &topo).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate down"), "{err}");
+        let err = EventTrace::parse_strict("t", "up 3\n", &topo).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("spurious up"), "{err}");
+        // Wobble range.
+        let err = EventTrace::parse_strict("t", "wobble 3 0\n", &topo).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        let err = EventTrace::parse_strict("t", "wobble 3 2001\n", &topo).unwrap_err();
+        assert_eq!(err.line, 1);
+        // The lenient parser accepts all of those shapes.
+        assert!(EventTrace::parse("t", "down 99\ndown 99\nup 3\nwobble 3 9999\n").is_ok());
     }
 }

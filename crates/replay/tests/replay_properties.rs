@@ -12,10 +12,13 @@
 //!    reports.
 
 use pcf_core::{
-    pcf_ls_instance, realize_routing, solve_pcf_ls, FailureModel, FailureState, Instance,
-    RobustOptions,
+    pcf_ls_instance, realize_routing, solve_pcf_ls, DegradeMode, FailureModel, FailureState,
+    Instance, RobustOptions,
 };
-use pcf_replay::{replay_batch, replay_trace, EventKind, EventTrace, ReplayEngine, ReplayOptions};
+use pcf_replay::{
+    replay_batch, replay_trace, EventKind, EventStage, EventTrace, FaultInjector, ReplayEngine,
+    ReplayOptions,
+};
 use pcf_rng::{forall, Config, Pcg32};
 use pcf_topology::zoo;
 use pcf_traffic::gravity;
@@ -191,4 +194,131 @@ fn batch_report_is_thread_count_invariant() {
         assert_eq!(base.violations, r.violations, "{threads} threads");
         assert_eq!(base.cache, r.cache, "{threads} threads");
     }
+}
+
+/// Chaos parameters a degrade property case explores.
+#[derive(Debug, Clone)]
+struct ChaosParams {
+    seed: u64,
+    events: usize,
+    f: usize,
+    mode: DegradeMode,
+}
+
+fn gen_chaos(rng: &mut Pcg32) -> ChaosParams {
+    ChaosParams {
+        seed: rng.next_u64(),
+        events: rng.range_usize(10, 60),
+        // Well beyond the f=1 plan: the ladder must carry the slack.
+        f: rng.range_usize_inclusive(2, 8),
+        mode: *rng.pick(&[DegradeMode::Rescale, DegradeMode::Shed]),
+    }
+}
+
+fn shrink_chaos(p: &ChaosParams) -> Vec<ChaosParams> {
+    let mut out = Vec::new();
+    if p.events > 1 {
+        out.push(ChaosParams {
+            events: p.events / 2,
+            ..p.clone()
+        });
+    }
+    if p.f > 2 {
+        out.push(ChaosParams {
+            f: p.f - 1,
+            ..p.clone()
+        });
+    }
+    out
+}
+
+/// The tentpole contract: with a degrade mode on, any chaos trace — deep
+/// beyond-budget failures plus capacity wobble — replays with no panic,
+/// no blank event, and a ladder stage on every event.
+#[test]
+fn degraded_replay_is_total_under_chaos() {
+    let (inst, a, b, served) = sprint_plan();
+    let total_served: f64 = served.iter().sum();
+    forall(
+        "degraded replay serves every event",
+        &Config::with_cases(12),
+        gen_chaos,
+        shrink_chaos,
+        |p| {
+            let trace = FaultInjector::new(p.seed).chaos(inst.topo(), p.events, p.f);
+            let opts = ReplayOptions {
+                degrade: p.mode,
+                ..ReplayOptions::default()
+            };
+            let r = replay_trace(&inst, &a, &b, &served, &trace, &opts);
+            if r.events != trace.len() {
+                return Err(format!("replay stopped at {}/{}", r.events, trace.len()));
+            }
+            if r.event_stage.len() != trace.len() || r.event_shed.len() != trace.len() {
+                return Err("per-event vectors out of step with the trace".into());
+            }
+            for (i, (&stage, &shed)) in r.event_stage.iter().zip(&r.event_shed).enumerate() {
+                if stage == EventStage::Failed {
+                    return Err(format!("event {i} fell off the ladder"));
+                }
+                if !(0.0..=total_served + 1e-9).contains(&shed) {
+                    return Err(format!("event {i}: shed {shed} out of [0, total]"));
+                }
+                if stage == EventStage::Normal && shed > 1e-9 {
+                    return Err(format!("event {i}: stage-1 event sheds demand"));
+                }
+            }
+            if r.degrade.total() != trace.len() as u64 {
+                return Err(format!(
+                    "degrade counters {:?} don't cover the trace",
+                    r.degrade
+                ));
+            }
+            if r.worst_overload < 0.0 {
+                return Err("negative overload bound".into());
+            }
+            // Identical replays agree exactly (degraded paths included).
+            let r2 = replay_trace(&inst, &a, &b, &served, &trace, &opts);
+            if r.event_stage != r2.event_stage
+                || r.event_shed != r2.event_shed
+                || r.event_utilization != r2.event_utilization
+            {
+                return Err("degraded replay is not deterministic".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The parser never panics on corrupt text, and when it rejects a trace
+/// the error points at a line inside it.
+#[test]
+fn trace_parser_is_total_on_malformed_text() {
+    forall(
+        "parse rejects fuzzed traces gracefully",
+        &Config::with_cases(40),
+        |rng| (rng.next_u64(), rng.range_usize(1, 60)),
+        |&(seed, lines)| {
+            if lines > 1 {
+                vec![(seed, lines / 2), (seed, lines - 1)]
+            } else {
+                Vec::new()
+            }
+        },
+        |&(seed, lines)| {
+            let text = FaultInjector::new(seed).malformed_trace(lines);
+            match EventTrace::parse("fuzz", &text) {
+                Ok(_) => Err("poisoned trace parsed cleanly".into()),
+                Err(e) => {
+                    if e.line < 1 || e.line > lines {
+                        return Err(format!("error line {} outside 1..={lines}", e.line));
+                    }
+                    if e.to_string().is_empty() {
+                        return Err("empty parse error message".into());
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
 }

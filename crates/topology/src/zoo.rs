@@ -41,13 +41,26 @@ pub const TABLE3: &[(&str, usize, usize)] = &[
     ("ION", 114, 135),
 ];
 
+/// Extra buildable topologies outside the paper's Table 3 — small
+/// well-known networks used by the chaos/fault-injection harness, where a
+/// quick solve matters more than matching the paper's evaluation set.
+pub const EXTRAS: &[(&str, usize, usize)] = &[
+    // The Internet2/Abilene backbone: 11 PoPs, 14 links.
+    ("Abilene", 11, 14),
+];
+
 /// Capacity tiers in abstract units, loosely mirroring 1/2.5/5/10 Gbps WAN
 /// link classes.
 const CAPACITY_TIERS: &[f64] = &[1.0, 2.5, 5.0, 10.0];
 
-/// Names of all 21 evaluation topologies.
+/// Names of every buildable topology: the 21 evaluation topologies
+/// followed by [`EXTRAS`].
 pub fn names() -> Vec<&'static str> {
-    TABLE3.iter().map(|&(n, _, _)| n).collect()
+    TABLE3
+        .iter()
+        .chain(EXTRAS.iter())
+        .map(|&(n, _, _)| n)
+        .collect()
 }
 
 /// FNV-1a hash of the topology name, used as the deterministic RNG seed.
@@ -60,13 +73,14 @@ fn seed_for(name: &str) -> u64 {
     h
 }
 
-/// Builds the named evaluation topology.
+/// Builds the named topology ([`TABLE3`] or [`EXTRAS`]).
 ///
 /// # Panics
-/// Panics if `name` is not one of [`TABLE3`].
+/// Panics if `name` is not one of [`TABLE3`] or [`EXTRAS`].
 pub fn build(name: &str) -> Topology {
     let &(_, n, m) = TABLE3
         .iter()
+        .chain(EXTRAS.iter())
         .find(|&&(t, _, _)| t == name)
         .unwrap_or_else(|| panic!("unknown zoo topology {name:?}"));
     synthetic(name, n, m)
@@ -177,6 +191,17 @@ mod tests {
                 "{name} must survive any single link failure"
             );
         }
+    }
+
+    #[test]
+    fn extras_build_by_name_without_joining_table3() {
+        assert_eq!(TABLE3.len(), 21);
+        let t = build("Abilene");
+        assert_eq!(t.node_count(), 11);
+        assert_eq!(t.link_count(), 14);
+        assert!(t.is_two_edge_connected());
+        assert!(names().contains(&"Abilene"));
+        assert!(!TABLE3.iter().any(|&(n, _, _)| n == "Abilene"));
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! Solves PCF-LS on Sprint for single-link failures, then streams a
 //! generated flap trace through the replay engine twice — once cold
 //! (factor every event) and once with the factorization cache — and
-//! prints the outcome and the speedup.
+//! prints the outcome and the speedup. A final pass injects
+//! beyond-budget failure bursts and lets the degradation ladder
+//! (DESIGN.md §10) serve them best-effort.
 //!
 //! Run with `cargo run --release --example failure_replay`.
 
-use pcf_core::{pcf_ls_instance, solve_pcf_ls, FailureModel, RobustOptions};
-use pcf_replay::{replay_trace, EventTrace, ReplayOptions};
+use pcf_core::{pcf_ls_instance, solve_pcf_ls, DegradeMode, FailureModel, RobustOptions};
+use pcf_replay::{replay_trace, EventTrace, FaultInjector, ReplayOptions};
 use pcf_topology::zoo;
 use pcf_traffic::gravity;
 
@@ -59,4 +61,26 @@ fn main() {
             "a plan solved for f=1 must survive an f=1 trace"
         );
     }
+
+    // Beyond the budget: bursts failing 2–3 links at once against the
+    // f=1 plan. With shedding enabled every event is still served.
+    let bursts = FaultInjector::new(7).beyond_budget_bursts(&topo, 20, 1);
+    let opts = ReplayOptions {
+        degrade: DegradeMode::Shed,
+        ..ReplayOptions::default()
+    };
+    let report = replay_trace(&inst, &sol.a, &sol.b, &served, &bursts, &opts);
+    println!(
+        "beyond-budget bursts ({} concurrent failures at worst): \
+         {} normal / {} rescaled / {} shed / {} failed; \
+         total shed {:.3}, worst residual overload {:.4}",
+        bursts.max_concurrent_down(),
+        report.degrade.normal,
+        report.degrade.rescaled,
+        report.degrade.shed,
+        report.degrade.failed,
+        report.total_shed,
+        report.worst_overload,
+    );
+    assert_eq!(report.degrade.failed, 0, "the serving path is total");
 }
