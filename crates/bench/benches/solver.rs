@@ -8,7 +8,10 @@ use pcf_core::realize::{proportional_routing, realize_routing, FailureState};
 use pcf_core::{
     pcf_ls_instance, solve_pcf_ls, solve_pcf_tf, tunnel_instance, FailureModel, RobustOptions,
 };
-use pcf_lp::{solve_dense, solve_gauss_seidel, DenseMatrix, LpProblem, Sense};
+use pcf_lp::{
+    solve_dense, solve_gauss_seidel, DenseMatrix, EngineKind, IncrementalLp, LpProblem, Pricing,
+    Sense, SimplexOptions, VarId,
+};
 use pcf_topology::zoo;
 use pcf_traffic::gravity;
 use std::hint::black_box;
@@ -34,6 +37,89 @@ fn bench_simplex(c: &mut Harness) {
                 lp.add_eq((0..n).map(|i| (v[i * n + j], 1.0)), 1.0);
             }
             black_box(lp.solve().unwrap().objective)
+        })
+    });
+    g.finish();
+}
+
+/// Transportation problem `n x n` with the given solver options; returns the
+/// problem plus its variable grid so callers can append cut rows.
+fn transportation_lp(n: usize, opts: &SimplexOptions) -> (LpProblem, Vec<VarId>) {
+    let mut lp = LpProblem::new(Sense::Minimize);
+    lp.set_options(opts.clone());
+    let mut v = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            v.push(lp.add_nonneg(((i * 7 + j * 3) % 10 + 1) as f64));
+        }
+    }
+    for i in 0..n {
+        lp.add_eq((0..n).map(|j| (v[i * n + j], 1.0)), 1.0);
+    }
+    for j in 0..n {
+        lp.add_eq((0..n).map(|i| (v[i * n + j], 1.0)), 1.0);
+    }
+    (lp, v)
+}
+
+/// The cut appended at step `k` of the cut-sequence benches: cap the even
+/// columns of supply row `k`, tightening the transportation optimum a bit.
+fn cut_row(v: &[VarId], n: usize, k: usize) -> Vec<(VarId, f64)> {
+    (0..n).step_by(2).map(|j| (v[k * n + j], 1.0)).collect()
+}
+
+fn bench_lp_sparse(c: &mut Harness) {
+    // The sparse basis engine (CSC + sparse LU + devex + presolve) against
+    // the retained dense product-form engine on the same model, plus the
+    // warm-start payoff: appending cuts to a live IncrementalLp versus
+    // rebuilding and re-solving from scratch after every cut.
+    let n = 24;
+    let sparse = SimplexOptions::default();
+    let dense = SimplexOptions {
+        engine: EngineKind::Dense,
+        pricing: Pricing::Dantzig,
+        presolve: false,
+        ..SimplexOptions::default()
+    };
+    // The engines must agree before we time them.
+    let o_sparse = transportation_lp(n, &sparse).0.solve().unwrap().objective;
+    let o_dense = transportation_lp(n, &dense).0.solve().unwrap().objective;
+    assert!(
+        (o_sparse - o_dense).abs() <= 1e-6 * (1.0 + o_dense.abs()),
+        "engine disagreement: sparse {o_sparse} vs dense {o_dense}"
+    );
+
+    let mut g = c.benchmark_group("lp_sparse");
+    g.sample_size(10);
+    g.bench_function("cold_sparse_transport_24", |b| {
+        b.iter(|| black_box(transportation_lp(n, &sparse).0.solve().unwrap().objective))
+    });
+    g.bench_function("cold_dense_transport_24", |b| {
+        b.iter(|| black_box(transportation_lp(n, &dense).0.solve().unwrap().objective))
+    });
+    g.bench_function("warm_cut_sequence_10", |b| {
+        b.iter(|| {
+            let (lp, v) = transportation_lp(n, &sparse);
+            let mut inc = IncrementalLp::new(lp);
+            let mut last = inc.solve().unwrap().objective;
+            for k in 0..10 {
+                inc.add_le(cut_row(&v, n, k), 0.6);
+                last = inc.solve().unwrap().objective;
+            }
+            black_box(last)
+        })
+    });
+    g.bench_function("cold_cut_sequence_10", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for upto in 0..=10 {
+                let (mut lp, v) = transportation_lp(n, &sparse);
+                for k in 0..upto {
+                    lp.add_le(cut_row(&v, n, k), 0.6);
+                }
+                last = lp.solve().unwrap().objective;
+            }
+            black_box(last)
         })
     });
     g.finish();
@@ -169,6 +255,7 @@ fn bench_robust_engine(c: &mut Harness) {
 fn main() {
     let mut c = Harness::from_args("solver");
     bench_simplex(&mut c);
+    bench_lp_sparse(&mut c);
     bench_linear_system_vs_lp(&mut c);
     bench_mmatrix_solvers(&mut c);
     bench_paths(&mut c);

@@ -24,6 +24,7 @@ use pcf_core::{
     augment_capacity, pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls,
     solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions, RobustSolution,
 };
+use pcf_lp::{EngineKind, Pricing, SimplexOptions};
 use pcf_replay::{replay_batch, EventTrace, FaultInjector, ReplayOptions};
 use pcf_topology::Topology;
 use pcf_traffic::{gravity, TrafficMatrix};
@@ -47,6 +48,9 @@ const FLAGS: &[&str] = &[
     "degrade",
     "inject",
     "djson",
+    "pricing",
+    "refactor-every",
+    "engine",
 ];
 
 const SWITCHES: &[&str] = &["fail-fast"];
@@ -87,16 +91,20 @@ fn usage() {
          \x20 --f <n>             simultaneous link failures to survive  (default 1)\n\
          \x20 --tunnels <k>       tunnels per pair                       (default 3)\n\
          \x20 --seed <n>          gravity traffic seed                   (default 1)\n\
-         \x20 --mlu <x>           optimal-routing MLU target             (default 0.6)\n\
+         \x20 --mlu <x>           optimal-routing MLU target; 0 skips the\n\
+         \x20                     normalization (fast on large topologies) (default 0.6)\n\
          \x20 --max-pairs <n>     keep only the n heaviest demands       (default 200)\n\
          \x20 --threads <n>       separation worker threads; 0 = all available cores\n\
          \x20                     (default 0)\n\
+         \x20 --engine <e>        LP basis engine: sparse | dense          (default sparse)\n\
+         \x20 --pricing <p>       simplex pricing: devex | dantzig         (default devex)\n\
+         \x20 --refactor-every <k> sparse-basis refactorization period     (default 400)\n\
          \x20 --target <z>        (augment) demand scale to guarantee\n\
          \x20 --trace <path>      (replay) scripted trace file (`down <l>` / `up <l>` lines)\n\
          \x20 --events <n>        (replay) generate an n-event flap trace    (default 1000)\n\
          \x20 --traces <n>        (replay) replay n generated traces in parallel (default 1)\n\
          \x20 --cache <n>         (replay) retained factorizations; 0 = cold (default 1024)\n\
-         \x20 --json <path>       (replay) also write the report as JSON\n\
+         \x20 --json <path>       (solve/replay) also write the report as JSON\n\
          \x20 --djson <path>      (replay) write the deterministic (digest) report as JSON\n\
          \x20 --degrade <m>       (replay) off | rescale | shed: how far down the\n\
          \x20                     degradation ladder beyond-budget events may fall\n\
@@ -133,6 +141,10 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "solve" => {
             let (inst, sol, scheme) = solve(&args, &topo)?;
             report(&topo, &inst, &sol, &scheme);
+            if let Some(path) = args.get("json") {
+                std::fs::write(path, solve_json(&args, &topo, &inst, &sol, &scheme)?)?;
+                println!("  report written to {path}");
+            }
             Ok(())
         }
         "validate" => {
@@ -375,20 +387,96 @@ fn load_topology(args: &Args) -> Result<Topology, Box<dyn std::error::Error>> {
 }
 
 /// Robust-engine options from the command line: `--threads 0` (the
-/// default) lets the engine use every available core for separation.
+/// default) lets the engine use every available core for separation;
+/// `--engine`, `--pricing` and `--refactor-every` tune the master LP's
+/// simplex.
 fn robust_options(args: &Args) -> Result<RobustOptions, ArgError> {
+    let engine = match args.get("engine") {
+        None | Some("sparse") => EngineKind::Sparse,
+        Some("dense") => EngineKind::Dense,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "--engine: expected sparse | dense, got {other:?}"
+            )))
+        }
+    };
+    let pricing = match args.get("pricing") {
+        None | Some("devex") => Pricing::Devex,
+        Some("dantzig") => Pricing::Dantzig,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "--pricing: expected devex | dantzig, got {other:?}"
+            )))
+        }
+    };
+    let defaults = SimplexOptions::default();
+    let reinvert_every = args.get_or("refactor-every", defaults.reinvert_every)?;
+    if reinvert_every == 0 {
+        return Err(ArgError("--refactor-every must be at least 1".into()));
+    }
     Ok(RobustOptions {
         threads: args.get_or("threads", 0usize)?,
+        lp: SimplexOptions {
+            engine,
+            pricing,
+            reinvert_every,
+            ..defaults
+        },
         ..RobustOptions::default()
     })
+}
+
+/// The `solve --json` report: the headline numbers plus the LP engine
+/// configuration that produced them, so archived results are attributable.
+fn solve_json(
+    args: &Args,
+    topo: &Topology,
+    inst: &Instance,
+    sol: &RobustSolution,
+    scheme: &str,
+) -> Result<String, ArgError> {
+    let opts = robust_options(args)?;
+    let engine = match opts.lp.engine {
+        EngineKind::Sparse => "sparse",
+        EngineKind::Dense => "dense",
+    };
+    let pricing = match opts.lp.pricing {
+        Pricing::Devex => "devex",
+        Pricing::Dantzig => "dantzig",
+    };
+    Ok(format!(
+        "{{\n  \"scheme\": \"{scheme}\",\n  \"topology\": \"{}\",\n  \"nodes\": {},\n  \
+         \"links\": {},\n  \"pairs\": {},\n  \"tunnels\": {},\n  \"logical_sequences\": {},\n  \
+         \"objective\": {:.9},\n  \"rounds\": {},\n  \"cuts\": {},\n  \"warm_rounds\": {},\n  \
+         \"engine\": \"{engine}\",\n  \"pricing\": \"{pricing}\",\n  \"refactor_every\": {}\n}}\n",
+        topo.name(),
+        topo.node_count(),
+        topo.link_count(),
+        inst.num_pairs(),
+        inst.num_tunnels(),
+        inst.num_lss(),
+        sol.objective,
+        sol.rounds,
+        sol.cuts,
+        sol.warm_rounds,
+        opts.lp.reinvert_every,
+    ))
 }
 
 fn load_traffic(args: &Args, topo: &Topology) -> Result<TrafficMatrix, Box<dyn std::error::Error>> {
     let seed = args.get_or("seed", 1u64)?;
     let mlu = args.get_or("mlu", 0.6f64)?;
     let max_pairs = args.get_or("max-pairs", 200usize)?;
-    let (mut tm, _) = scale_to_mlu(topo, &gravity(topo, seed), mlu);
+    let mut tm = gravity(topo, seed);
     tm.truncate_to_top_k(max_pairs);
+    // `--mlu 0` skips the optimal-routing normalization: the max-concurrent-
+    // flow LP it solves costs far more than the robust solve itself on
+    // Deltacom/ION-scale topologies, and the guaranteed demand scale is
+    // relative to the matrix either way.
+    if mlu > 0.0 {
+        let (scaled, _) = scale_to_mlu(topo, &tm, mlu);
+        tm = scaled;
+    }
     Ok(tm)
 }
 

@@ -41,15 +41,17 @@ pub use optimal::{
 pub use r3::{solve_generalized_r3, solve_r3, R3Solution};
 pub use realize::{
     absolute_tolerance, check_utilizations, expand_routing, greedy_topsort, live_pairs,
-    proportional_routing, realize_routing, reservation_matrix, topological_order, FailureState,
-    RealizeError, Routing,
+    proportional_routing, realize_routing, realize_routing_with, reservation_matrix,
+    topological_order, FailureState, RealizeError, RealizeKernel, Routing,
 };
-pub use robust::{solve_robust, AdversaryKind, RobustOptions, RobustSolution};
+pub use robust::{
+    solve_robust, try_solve_robust, AdversaryKind, RobustError, RobustOptions, RobustSolution,
+};
 pub use scale::scale_to_mlu;
 pub use schemes::{
     pcf_ls_instance, solve_ffc, solve_pcf_cls, solve_pcf_ls, solve_pcf_tf, tunnel_instance,
 };
 pub use validate::{
-    validate_all, validate_scenarios, ArcHotspot, ValidationReport, Violation, ViolationKind,
-    ViolationSummary,
+    validate_all, validate_all_with, validate_scenarios, validate_scenarios_with, ArcHotspot,
+    ValidationReport, Violation, ViolationKind, ViolationSummary,
 };

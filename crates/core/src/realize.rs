@@ -18,7 +18,7 @@
 //!   the PCF-CLS-TopSort pruning heuristic (§5.2).
 
 use crate::instance::{Instance, LogicalSequence, LsId, PairId, TunnelId};
-use pcf_lp::{solve_dense, DenseMatrix};
+use pcf_lp::{solve_dense, DenseMatrix, SparseLu};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which tunnels are alive and which LSs are active under a concrete
@@ -376,6 +376,35 @@ pub fn realize_routing(
     served: &[f64],
     tol: f64,
 ) -> Result<Routing, RealizeError> {
+    realize_routing_with(inst, state, a, b, served, tol, RealizeKernel::Dense)
+}
+
+/// Which linear-algebra kernel [`realize_routing_with`] uses for `M × U = D`.
+///
+/// The sparse kernel follows the dense factorization's pivot order
+/// bit-for-bit (`SparseLu::factor_dense_compat`), so the two kernels return
+/// byte-identical utilizations — and therefore byte-identical
+/// `ValidationReport` digests — on every realizable scenario. The property
+/// tests in `validate` hold both paths to that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RealizeKernel {
+    /// Dense LU (`pcf_lp::solve_dense`), the original path.
+    #[default]
+    Dense,
+    /// Sparse LU in dense-compatible pivot order.
+    Sparse,
+}
+
+/// [`realize_routing`] with an explicit linear-algebra kernel.
+pub fn realize_routing_with(
+    inst: &Instance,
+    state: &FailureState,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    tol: f64,
+    kernel: RealizeKernel,
+) -> Result<Routing, RealizeError> {
     let tol_abs = absolute_tolerance(served, tol);
     let pairs = live_pairs(inst, state, a, b, served, tol_abs)?;
     if pairs.is_empty() {
@@ -388,8 +417,16 @@ pub fn realize_routing(
     }
     let m = reservation_matrix(inst, state, a, b, &pairs);
     let d: Vec<f64> = pairs.iter().map(|&p| served[p.0]).collect();
-    let u = solve_dense(&m, &[d]).map_err(|_| RealizeError::SingularMatrix)?;
-    let u = u.into_iter().next().ok_or(RealizeError::SingularMatrix)?;
+    let u = match kernel {
+        RealizeKernel::Dense => solve_dense(&m, &[d])
+            .map_err(|_| RealizeError::SingularMatrix)?
+            .into_iter()
+            .next()
+            .ok_or(RealizeError::SingularMatrix)?,
+        RealizeKernel::Sparse => SparseLu::factor_dense_compat(&m)
+            .map_err(|_| RealizeError::SingularMatrix)?
+            .solve(&d),
+    };
     let u = check_utilizations(&pairs, u, tol)?;
     Ok(expand_routing(inst, state, a, &pairs, &u))
 }

@@ -28,6 +28,44 @@ use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, PairId};
 use crate::objective::Objective;
 use pcf_lp::{nonzero, IncrementalLp, LpProblem, Sense, SimplexOptions, Status, VarId};
+use std::fmt;
+
+/// Structured failure from the robust engine's master problem.
+///
+/// Surfaced by [`try_solve_robust`]; the infallible [`solve_robust`]
+/// wrapper panics on these instead. A
+/// [`RobustError::MasterNotOptimal`] with [`Status::IterationLimit`] is
+/// also how a numerically singular basis in the sparse LP engine reports
+/// itself, letting callers fall back (e.g. re-solving with
+/// [`pcf_lp::EngineKind::Dense`], or serving the incumbent through the
+/// degradation ladder) instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RobustError {
+    /// The LP layer rejected the master problem structurally.
+    MasterLp(pcf_lp::SolveError),
+    /// A master re-solve ended without optimality (iteration limit,
+    /// infeasible after a bad cut, or unbounded) in the given
+    /// cutting-plane round.
+    MasterNotOptimal {
+        /// Terminal status of the failed solve.
+        status: Status,
+        /// 1-based cutting-plane round that failed.
+        round: usize,
+    },
+}
+
+impl fmt::Display for RobustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RobustError::MasterLp(e) => write!(f, "master LP rejected: {e}"),
+            RobustError::MasterNotOptimal { status, round } => {
+                write!(f, "master LP not optimal in round {round}: {status}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RobustError {}
 
 /// Which failure-set model the scheme plans against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,15 +171,37 @@ fn no_failure_h(cond: &Condition) -> f64 {
 /// Solves the robust bandwidth allocation for `inst` against `fm` with the
 /// given adversary model.
 ///
+/// Infallible wrapper over [`try_solve_robust`] for the common case where
+/// a master failure is a bug worth halting on.
+///
 /// # Panics
 /// Panics if `kind` is [`AdversaryKind::FfcTunnelCount`] and the instance
-/// has logical sequences, or if the master LP fails structurally.
+/// has logical sequences, or on any [`RobustError`].
 pub fn solve_robust(
     inst: &Instance,
     fm: &FailureModel,
     kind: AdversaryKind,
     opts: &RobustOptions,
 ) -> RobustSolution {
+    match try_solve_robust(inst, fm, kind, opts) {
+        Ok(sol) => sol,
+        // audit:allow(no-panic-paths, compatibility wrapper; fallible path is try_solve_robust)
+        Err(e) => panic!("robust solve failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`solve_robust`]: master-LP failures come back as
+/// [`RobustError`] values instead of panics.
+///
+/// # Panics
+/// Panics if `kind` is [`AdversaryKind::FfcTunnelCount`] and the instance
+/// has logical sequences (a modeling error, not a runtime condition).
+pub fn try_solve_robust(
+    inst: &Instance,
+    fm: &FailureModel,
+    kind: AdversaryKind,
+    opts: &RobustOptions,
+) -> Result<RobustSolution, RobustError> {
     if kind == AdversaryKind::FfcTunnelCount {
         assert_eq!(
             inst.num_lss(),
@@ -189,13 +249,13 @@ pub fn solve_robust(
                 master.append_cut(inst, cut);
             }
         }
-        let (a, b, z, objective, was_warm) = master.solve(inst);
+        let (a, b, z, objective, was_warm) = master.solve(inst, rounds)?;
         if was_warm {
             warm_rounds += 1;
         }
 
         if rounds > opts.max_rounds {
-            return RobustSolution {
+            return Ok(RobustSolution {
                 objective,
                 z,
                 a,
@@ -203,7 +263,7 @@ pub fn solve_robust(
                 rounds: rounds - 1,
                 cuts: cuts.len(),
                 warm_rounds,
-            };
+            });
         }
 
         // Separation: every pair's oracle is independent, so fan the pairs
@@ -221,7 +281,7 @@ pub fn solve_robust(
             }
         }
         if violated == 0 {
-            return RobustSolution {
+            return Ok(RobustSolution {
                 objective,
                 z,
                 a,
@@ -229,7 +289,7 @@ pub fn solve_robust(
                 rounds,
                 cuts: cuts.len(),
                 warm_rounds,
-            };
+            });
         }
     }
 }
@@ -267,8 +327,12 @@ fn separate(
             });
         }
     });
+    // The scope above joins every worker (a worker panic propagates), so
+    // each slot is filled; if one ever were not, recompute it inline
+    // rather than aborting — the oracle is a pure function.
     out.into_iter()
-        .map(|o| o.expect("every pair separated"))
+        .zip(pairs)
+        .map(|(o, p)| o.unwrap_or_else(|| oracle(p)))
         .collect()
 }
 
@@ -374,14 +438,20 @@ impl Master {
 
     /// Re-solves the master (warm after the first call) and reads out
     /// `(a, b, z_per_pair, objective, was_warm)`.
-    fn solve(&mut self, inst: &Instance) -> (Vec<f64>, Vec<f64>, Vec<f64>, f64, bool) {
+    #[allow(clippy::type_complexity)]
+    fn solve(
+        &mut self,
+        inst: &Instance,
+        round: usize,
+    ) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>, f64, bool), RobustError> {
         let warm_before = self.lp.stats().warm_solves;
-        let sol = self.lp.solve().expect("master LP is structurally valid");
-        assert!(
-            sol.status == Status::Optimal,
-            "master LP did not reach optimality: {}",
-            sol.status
-        );
+        let sol = self.lp.solve().map_err(RobustError::MasterLp)?;
+        if sol.status != Status::Optimal {
+            return Err(RobustError::MasterNotOptimal {
+                status: sol.status,
+                round,
+            });
+        }
         let was_warm = self.lp.stats().warm_solves > warm_before;
 
         let a: Vec<f64> = self.a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
@@ -393,7 +463,7 @@ impl Master {
                 ZVars::PerPair(vs) => vs[p.0].map_or(0.0, |v| sol.value(v)),
             })
             .collect();
-        (a, b, z, sol.objective, was_warm)
+        Ok((a, b, z, sol.objective, was_warm))
     }
 }
 
@@ -723,6 +793,35 @@ mod more_tests {
             warm.objective,
             cold.objective
         );
+    }
+
+    #[test]
+    fn starved_master_surfaces_structured_error() {
+        let topo = pcf_topology::zoo::build("Sprint");
+        let tm = pcf_traffic::gravity(&topo, 2);
+        let inst = crate::schemes::tunnel_instance(&topo, &tm, 3);
+        let opts = RobustOptions {
+            lp: SimplexOptions {
+                max_iterations: Some(1),
+                ..SimplexOptions::default()
+            },
+            ..RobustOptions::default()
+        };
+        let err = crate::robust::try_solve_robust(
+            &inst,
+            &FailureModel::links(1),
+            AdversaryKind::LinkBased,
+            &opts,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RobustError::MasterNotOptimal {
+                status: Status::IterationLimit,
+                round: 1
+            }
+        );
+        assert!(err.to_string().contains("round 1"), "{err}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::failure::FailureModel;
 use crate::instance::Instance;
-use crate::realize::{realize_routing, FailureState, RealizeError};
+use crate::realize::{realize_routing_with, FailureState, RealizeError, RealizeKernel};
 use std::collections::BTreeMap;
 
 /// How many hotspot arcs a [`ValidationReport`] retains.
@@ -120,6 +120,68 @@ impl ValidationReport {
         s
     }
 
+    /// A deterministic 64-bit fingerprint of the report, for comparing
+    /// validation outcomes across solver engines or runs (the benchmark
+    /// harness asserts the sparse and dense LP engines validate
+    /// identically).
+    ///
+    /// FNV-1a over the scenario counts, utilizations quantized to a 1e-6
+    /// grid (so last-ulp arithmetic noise does not flip the digest), the
+    /// hotspot list, and every violation including its dead-link mask.
+    pub fn digest(&self) -> u64 {
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        fn quantize(u: f64) -> i64 {
+            if u.is_finite() {
+                (u * 1e6).round() as i64
+            } else if u > 0.0 {
+                i64::MAX
+            } else {
+                i64::MIN
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        eat(&mut h, &(self.scenarios as u64).to_le_bytes());
+        eat(&mut h, &(self.distinct_states as u64).to_le_bytes());
+        eat(&mut h, &quantize(self.max_utilization).to_le_bytes());
+        for hot in &self.top_arcs {
+            eat(&mut h, &(hot.arc as u64).to_le_bytes());
+            eat(&mut h, &quantize(hot.utilization).to_le_bytes());
+        }
+        for v in &self.violations {
+            for chunk in v.dead.chunks(8) {
+                let mut byte = 0u8;
+                for (i, &bit) in chunk.iter().enumerate() {
+                    if bit {
+                        byte |= 1 << i;
+                    }
+                }
+                eat(&mut h, &[byte]);
+            }
+            match &v.kind {
+                ViolationKind::Realize(e) => {
+                    eat(&mut h, &[0u8]);
+                    eat(&mut h, format!("{e:?}").as_bytes());
+                }
+                ViolationKind::Overload {
+                    arc,
+                    load,
+                    capacity,
+                } => {
+                    eat(&mut h, &[1u8]);
+                    eat(&mut h, &(*arc as u64).to_le_bytes());
+                    eat(&mut h, &quantize(*load).to_le_bytes());
+                    eat(&mut h, &quantize(*capacity).to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
     /// Worst residual overload over the violation list:
     /// `max(load/capacity - 1)` across `Overload` entries, `0.0` when none
     /// (same convention as `crate::degrade::overload_bound`).
@@ -147,6 +209,23 @@ pub fn validate_scenarios(
     masks: &[Vec<bool>],
     tol: f64,
 ) -> ValidationReport {
+    validate_scenarios_with(inst, a, b, served, masks, tol, RealizeKernel::Dense)
+}
+
+/// [`validate_scenarios`] with an explicit realization kernel. The dense
+/// and sparse kernels produce byte-identical reports (see
+/// [`RealizeKernel`]); the kernel knob exists so that identity can be
+/// checked end-to-end.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_scenarios_with(
+    inst: &Instance,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    masks: &[Vec<bool>],
+    tol: f64,
+    kernel: RealizeKernel,
+) -> ValidationReport {
     let topo = inst.topo();
     let mut arc_peak = vec![0.0f64; topo.arc_count()];
     let mut violations = Vec::new();
@@ -167,7 +246,10 @@ pub fn validate_scenarios(
         let idx = *by_signature
             .entry(state.liveness_signature())
             .or_insert_with(|| {
-                solved.push(realize_routing(inst, &state, a, b, served, tol).map(|r| r.arc_loads));
+                solved.push(
+                    realize_routing_with(inst, &state, a, b, served, tol, kernel)
+                        .map(|r| r.arc_loads),
+                );
                 solved.len() - 1
             });
         match &solved[idx] {
@@ -230,8 +312,21 @@ pub fn validate_all(
     served: &[f64],
     tol: f64,
 ) -> ValidationReport {
+    validate_all_with(inst, fm, a, b, served, tol, RealizeKernel::Dense)
+}
+
+/// [`validate_all`] with an explicit realization kernel.
+pub fn validate_all_with(
+    inst: &Instance,
+    fm: &FailureModel,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    tol: f64,
+    kernel: RealizeKernel,
+) -> ValidationReport {
     let masks = fm.enumerate_scenarios(inst.topo());
-    validate_scenarios(inst, a, b, served, &masks, tol)
+    validate_scenarios_with(inst, a, b, served, &masks, tol, kernel)
 }
 
 #[cfg(test)]
@@ -329,6 +424,85 @@ mod tests {
         for w in report.top_arcs.windows(2) {
             assert!(w[0].utilization >= w[1].utilization, "hotspots unsorted");
         }
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(1);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        let r1 = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
+        let r2 = validate_all(&inst, &fm, &sol.a, &sol.b, &served, 1e-6);
+        assert_eq!(r1.digest(), r2.digest(), "same validation, same digest");
+        let mut tweaked = r1.clone();
+        tweaked.max_utilization += 0.01;
+        assert_ne!(r1.digest(), tweaked.digest(), "digest ignores utilization");
+        // Sub-grid noise must not flip the digest.
+        let mut noisy = r1.clone();
+        noisy.max_utilization += 1e-9;
+        assert_eq!(r1.digest(), noisy.digest(), "digest unstable under noise");
+    }
+
+    #[test]
+    fn dense_and_sparse_realize_kernels_digest_identically() {
+        // The sparse kernel mirrors the dense pivot order bit-for-bit, so
+        // validating the same plan through either kernel must yield
+        // byte-identical reports — utilizations included, not just the
+        // digest quantization grid.
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(
+            &topo,
+            vec![(NodeId(0), NodeId(3), 1.0), (NodeId(1), NodeId(2), 0.5)],
+        )
+        .tunnels_per_pair(2)
+        .build();
+        let fm = FailureModel::links(1);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        let dense = validate_all_with(
+            &inst,
+            &fm,
+            &sol.a,
+            &sol.b,
+            &served,
+            1e-6,
+            RealizeKernel::Dense,
+        );
+        let sparse = validate_all_with(
+            &inst,
+            &fm,
+            &sol.a,
+            &sol.b,
+            &served,
+            1e-6,
+            RealizeKernel::Sparse,
+        );
+        assert_eq!(dense.digest(), sparse.digest(), "kernel digests diverge");
+        assert_eq!(
+            dense.max_utilization.to_bits(),
+            sparse.max_utilization.to_bits(),
+            "kernels disagree beyond the digest grid"
+        );
     }
 
     #[test]

@@ -7,11 +7,15 @@
 //! simplex workspace of [`crate::simplex`] alive and, when rows are
 //! appended, warm-starts from the previous optimal basis:
 //!
-//! * the basis inverse is extended in place with the block formula
-//!   `[[B, 0], [C, D]]^-1 = [[B^-1, 0], [-D^-1 C B^-1, D^-1]]`, where `D` is
-//!   diagonal because each appended row's entering basic column (its slack
-//!   or artificial) touches only that row — `O(k·m^2)` instead of a fresh
-//!   `O(m^3)` inversion plus a full phase 1;
+//! * the basis representation is extended in place: the sparse engine
+//!   appends a *border* op to its factor file (the block
+//!   `[[B, 0], [C, D]]` with diagonal `D`, because each appended row's
+//!   entering basic column — its slack or artificial — touches only that
+//!   row), re-using the existing LU factors and eta file untouched; the
+//!   dense engine extends its explicit inverse with the block formula
+//!   `[[B, 0], [C, D]]^-1 = [[B^-1, 0], [-D^-1 C B^-1, D^-1]]`. Either way
+//!   the warm start costs `O(k·m)`–`O(k·m^2)` instead of a fresh
+//!   factorization plus a full phase 1;
 //! * an appended row whose activity at the current point already lies within
 //!   its bounds gets its slack basic directly and needs no phase-1 work at
 //!   all;
@@ -28,7 +32,7 @@
 //! retained basis and the next solve runs cold.
 
 use crate::model::{LpProblem, RowId, Solution, SolveError, Status, VarId};
-use crate::simplex::{self, SolverState, VarState};
+use crate::simplex::{self, Basis, SolverState, VarState};
 
 /// Counters describing how an [`IncrementalLp`] has been solved so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -192,6 +196,13 @@ impl IncrementalLp {
         // in the old basis — the nonzeros of C.
         let mut c_rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(k);
         let mut new_arts: Vec<usize> = Vec::new();
+        // Structural entries of the appended rows, batched into one CSC
+        // rebuild; iteration is row-major so each column's adds arrive in
+        // ascending row order as `append_rows` requires.
+        let mut adds: Vec<(usize, usize, f64)> = Vec::new();
+        // Fresh slack/artificial columns, each a singleton in its new row.
+        let mut new_cols: Vec<(usize, f64)> = Vec::new();
+        let mut next_col = tab.ncols;
 
         for (t, row) in p.rows[self.solved_rows..].iter().enumerate() {
             let i = m_old + t;
@@ -205,18 +216,20 @@ impl IncrementalLp {
             for &(j, a) in &row.coeffs {
                 let av = a * rscale * st.cscale[j];
                 act += av * tab.value(j);
-                tab.cols[j].push((i, av));
+                adds.push((j, i, av));
                 if let VarState::Basic(r) = tab.state[j] {
                     c_entries.push((r, av));
                 }
             }
             c_rows.push(c_entries);
+            tab.rscale.push(rscale);
             let lo = row.lower * rscale;
             let hi = row.upper * rscale;
 
             // Slack column for row i.
-            let s_col = tab.cols.len();
-            tab.cols.push(vec![(i, -1.0)]);
+            let s_col = next_col;
+            next_col += 1;
+            new_cols.push((i, -1.0));
             tab.lower.push(lo);
             tab.upper.push(hi);
             tab.cost.push(0.0);
@@ -238,8 +251,9 @@ impl IncrementalLp {
                 });
                 let resid = act - sv;
                 let s = if resid >= 0.0 { -1.0 } else { 1.0 };
-                let a_col = tab.cols.len();
-                tab.cols.push(vec![(i, s)]);
+                let a_col = next_col;
+                next_col += 1;
+                new_cols.push((i, s));
                 tab.lower.push(0.0);
                 tab.upper.push(f64::INFINITY);
                 tab.cost.push(0.0);
@@ -250,30 +264,53 @@ impl IncrementalLp {
                 new_arts.push(a_col);
             }
         }
-        tab.ncols = tab.cols.len();
-
-        // ---- Block extension of the basis inverse. ----
         let m_new = m_old + k;
-        let mut binv = vec![0.0; m_new * m_new];
-        for r in 0..m_old {
-            binv[r * m_new..r * m_new + m_old]
-                .copy_from_slice(&tab.binv[r * m_old..(r + 1) * m_old]);
+        tab.a.append_rows(m_new, &adds);
+        for &(i, coef) in &new_cols {
+            tab.a.push_col([(i, coef)]);
         }
-        for t in 0..k {
-            let r = m_old + t;
-            let d_inv = 1.0 / d_sign[t];
-            // Row r of the new inverse: [-(1/d) C_t B^-1 | e_t / d].
-            for &(br, c) in &c_rows[t] {
-                let src = &tab.binv[br * m_old..(br + 1) * m_old];
-                let f = d_inv * c;
-                let dst = &mut binv[r * m_new..r * m_new + m_old];
-                for (dq, sq) in dst.iter_mut().zip(src.iter()) {
-                    *dq -= f * sq;
-                }
+        tab.ncols = tab.a.ncols();
+        debug_assert_eq!(tab.ncols, next_col);
+
+        // ---- Extend the basis representation with the appended block. ----
+        match &mut tab.rep {
+            Basis::Sparse { engine } => {
+                // One border op: [[B, 0], [C, D]] with diagonal D. The
+                // existing factors and eta file keep working untouched.
+                let border = c_rows
+                    .iter()
+                    .zip(&d_sign)
+                    .map(|(c, &dv)| {
+                        let entries: Vec<(u32, f64)> =
+                            c.iter().map(|&(r, v)| (r as u32, v)).collect();
+                        (entries, dv)
+                    })
+                    .collect();
+                engine.append_border(border);
             }
-            binv[r * m_new + r] = d_inv;
+            Basis::Dense { binv: old } => {
+                let mut binv = vec![0.0; m_new * m_new];
+                for r in 0..m_old {
+                    binv[r * m_new..r * m_new + m_old]
+                        .copy_from_slice(&old[r * m_old..(r + 1) * m_old]);
+                }
+                for t in 0..k {
+                    let r = m_old + t;
+                    let d_inv = 1.0 / d_sign[t];
+                    // Row r of the new inverse: [-(1/d) C_t B^-1 | e_t / d].
+                    for &(br, c) in &c_rows[t] {
+                        let src = &old[br * m_old..(br + 1) * m_old];
+                        let f = d_inv * c;
+                        let dst = &mut binv[r * m_new..r * m_new + m_old];
+                        for (dq, sq) in dst.iter_mut().zip(src.iter()) {
+                            *dq -= f * sq;
+                        }
+                    }
+                    binv[r * m_new + r] = d_inv;
+                }
+                *old = binv;
+            }
         }
-        tab.binv = binv;
         tab.m = m_new;
         tab.xb.extend_from_slice(&new_xb);
         // Re-derive all basic values through the extended inverse; this both

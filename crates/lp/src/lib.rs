@@ -18,12 +18,17 @@ pub mod float;
 pub mod incremental;
 pub mod linsys;
 pub mod model;
+pub mod presolve;
 pub mod simplex;
+pub mod slu;
+pub mod sparse;
 pub mod write;
 
 pub use float::{approx_eq, approx_zero, is_zero, nonzero};
 pub use incremental::{IncrementalLp, IncrementalStats};
 pub use linsys::{lu_factor, solve_dense, solve_gauss_seidel, DenseMatrix, LinSysError, LuFactors};
 pub use model::{LpProblem, RowId, Sense, Solution, SolveError, Status, VarId};
-pub use simplex::SimplexOptions;
+pub use simplex::{EngineKind, Pricing, SimplexOptions};
+pub use slu::{BasisEngine, SparseLu};
+pub use sparse::CscMatrix;
 pub use write::to_lp_format;

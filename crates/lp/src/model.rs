@@ -63,6 +63,11 @@ pub struct Solution {
     pub objective: f64,
     /// Value of each variable, indexed by [`VarId`].
     pub x: Vec<f64>,
+    /// Row duals, indexed by [`RowId`]: `duals[i]` is d(objective)/d(rhs_i)
+    /// in the problem's own sense (so for a maximization, relaxing a binding
+    /// `<=` row by one unit increases the objective by `duals[i]`). Zero for
+    /// inactive rows; all zeros unless the status is [`Status::Optimal`].
+    pub duals: Vec<f64>,
     /// Simplex iterations spent (phase 1 + phase 2).
     pub iterations: usize,
 }
@@ -71,6 +76,11 @@ impl Solution {
     /// Value of variable `v`.
     pub fn value(&self, v: VarId) -> f64 {
         self.x[v.0]
+    }
+
+    /// Dual value of row `r`; see [`Solution::duals`].
+    pub fn dual(&self, r: RowId) -> f64 {
+        self.duals[r.0]
     }
 
     /// Whether the solve reached a provably optimal solution.

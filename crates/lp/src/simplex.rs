@@ -13,17 +13,52 @@
 //! at zero.
 //!
 //! Implementation notes:
-//! * the basis inverse is kept explicitly (dense, row-major) and updated by
-//!   the product form at each pivot, with a full reinversion every
-//!   [`SimplexOptions::reinvert_every`] pivots to bound numerical drift;
-//! * the entering rule is Dantzig pricing, falling back to Bland's rule
-//!   after a long run of degenerate pivots to guarantee termination;
+//! * the constraint matrix is stored once in compressed sparse column form
+//!   ([`crate::sparse::CscMatrix`]); pricing and ftran gather columns from
+//!   it directly;
+//! * the basis is represented by [`EngineKind`]: the default sparse engine
+//!   keeps a Markowitz-ordered LU factorization plus a product-form eta
+//!   file ([`crate::slu::BasisEngine`]), refactorized every
+//!   [`SimplexOptions::reinvert_every`] pivots or earlier when the eta file
+//!   outgrows the factors; the dense engine keeps the explicit row-major
+//!   inverse of the pre-sparse solver and remains selectable for A/B
+//!   comparisons;
+//! * the entering rule is devex pricing over a candidate list by default
+//!   ([`Pricing::Devex`]), with classic Dantzig pricing selectable and a
+//!   fall back to Bland's rule after a long run of degenerate pivots to
+//!   guarantee termination — optimality is only ever declared from a full
+//!   pricing scan;
+//! * a presolve pass ([`crate::presolve`]) runs before one-shot solves and
+//!   its postsolve restores the original variable/dual space; warm-started
+//!   solves through [`crate::incremental`] bypass presolve so the retained
+//!   basis maps 1:1 onto the model's rows;
 //! * geometric row/column equilibration is applied by default, which keeps
 //!   the WAN models (capacities 0.5–10, demands spanning decades) well
 //!   conditioned.
 
 use crate::float::nonzero;
 use crate::model::{LpProblem, Sense, Solution, Status};
+use crate::slu::{BasisEngine, SparseLu};
+use crate::sparse::CscMatrix;
+
+/// Entering-variable pricing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pricing {
+    /// Most-negative reduced cost, full scan every iteration.
+    Dantzig,
+    /// Devex reference weights over a candidate list (default).
+    Devex,
+}
+
+/// Basis representation backing ftran/btran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Explicit dense `B^{-1}` updated by the product form (the pre-sparse
+    /// engine, kept for A/B comparison).
+    Dense,
+    /// Sparse LU with an eta file (default).
+    Sparse,
+}
 
 /// Tunable solver parameters.
 #[derive(Debug, Clone)]
@@ -37,12 +72,20 @@ pub struct SimplexOptions {
     /// Hard cap on total simplex iterations; `None` chooses
     /// `20_000 + 100 * (rows + vars)`.
     pub max_iterations: Option<usize>,
-    /// Recompute the basis inverse from scratch this often.
+    /// Refactorize the basis from scratch this often (the sparse engine may
+    /// refactorize earlier if its eta file outgrows the factors).
     pub reinvert_every: usize,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub bland_after: usize,
     /// Apply geometric row/column scaling before solving.
     pub scale: bool,
+    /// Entering-variable pricing rule.
+    pub pricing: Pricing,
+    /// Basis engine.
+    pub engine: EngineKind,
+    /// Run presolve/postsolve around one-shot solves (warm-started solves
+    /// always bypass it).
+    pub presolve: bool,
 }
 
 impl Default for SimplexOptions {
@@ -55,6 +98,9 @@ impl Default for SimplexOptions {
             reinvert_every: 400,
             bland_after: 2000,
             scale: true,
+            pricing: Pricing::Devex,
+            engine: EngineKind::Sparse,
+            presolve: true,
         }
     }
 }
@@ -69,21 +115,41 @@ pub(crate) enum VarState {
     FreeZero,
 }
 
+/// The basis representation: see [`EngineKind`].
+pub(crate) enum Basis {
+    Dense {
+        /// m x m row-major explicit inverse.
+        binv: Vec<f64>,
+    },
+    Sparse {
+        engine: BasisEngine,
+    },
+}
+
+/// Devex candidate-list length after a full pricing scan.
+const DEVEX_CANDIDATES: usize = 64;
+/// Devex reference-weight ceiling; beyond it all weights reset to 1.
+const DEVEX_WEIGHT_RESET: f64 = 1e8;
+
 /// The standardized problem plus solver workspace.
 ///
 /// Kept `pub(crate)` so [`crate::incremental`] can retain it across solves
 /// and extend it in place when rows are appended.
 pub(crate) struct Tableau {
-    pub(crate) m: usize,                     // rows
-    pub(crate) ncols: usize,                 // structural + slack + artificial columns
-    pub(crate) cols: Vec<Vec<(usize, f64)>>, // sparse columns of [A | -I | +-I]
+    pub(crate) m: usize,     // rows
+    pub(crate) ncols: usize, // structural + slack + artificial columns
+    /// Sparse columns of [A | -I | +-I].
+    pub(crate) a: CscMatrix,
     pub(crate) lower: Vec<f64>,
     pub(crate) upper: Vec<f64>,
     pub(crate) cost: Vec<f64>, // phase-2 cost
     pub(crate) state: Vec<VarState>,
     pub(crate) basis: Vec<usize>, // column index basic in each row
-    pub(crate) binv: Vec<f64>,    // m x m row-major
-    pub(crate) xb: Vec<f64>,      // values of basic variables per row
+    pub(crate) rep: Basis,
+    pub(crate) xb: Vec<f64>, // values of basic variables per row
+    /// Row equilibration factors (extended per appended row), needed to
+    /// unscale duals.
+    pub(crate) rscale: Vec<f64>,
     pub(crate) opts: SimplexOptions,
     pub(crate) iterations: usize,
 }
@@ -115,137 +181,326 @@ impl Tableau {
             }
             let v = self.nonbasic_value(j);
             if nonzero(v) {
-                for &(i, a) in &self.cols[j] {
+                for (i, a) in self.a.col_iter(j) {
                     rhs[i] -= a * v;
                 }
             }
         }
-        // xb = binv * rhs
-        for r in 0..m {
-            let row = &self.binv[r * m..(r + 1) * m];
-            let mut acc = 0.0;
-            for i in 0..m {
-                acc += row[i] * rhs[i];
+        // xb = B^{-1} rhs
+        match &self.rep {
+            Basis::Dense { binv } => {
+                for r in 0..m {
+                    let row = &binv[r * m..(r + 1) * m];
+                    let mut acc = 0.0;
+                    for i in 0..m {
+                        acc += row[i] * rhs[i];
+                    }
+                    self.xb[r] = acc;
+                }
             }
-            self.xb[r] = acc;
+            Basis::Sparse { engine } => {
+                let mut scratch = Vec::new();
+                self.xb.copy_from_slice(&rhs);
+                engine.ftran(&mut self.xb, &mut scratch);
+            }
         }
     }
 
-    /// Rebuilds `binv` from the current basis by Gauss-Jordan elimination.
+    /// Rebuilds the basis representation from the current basis columns.
     /// Returns false if the basis matrix is numerically singular.
     pub(crate) fn reinvert(&mut self) -> bool {
         let m = self.m;
-        // Dense B (row-major) from basis columns.
-        let mut b = vec![0.0; m * m];
-        for (r, &j) in self.basis.iter().enumerate() {
-            for &(i, a) in &self.cols[j] {
-                b[i * m + r] = a;
-            }
-        }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        // Gauss-Jordan with partial pivoting.
-        for col in 0..m {
-            let mut piv = col;
-            let mut best = b[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = b[r * m + col].abs();
-                if v > best {
-                    best = v;
-                    piv = r;
+        match &mut self.rep {
+            Basis::Sparse { engine } => match SparseLu::factor_basis(&self.a, &self.basis) {
+                Ok(lu) => {
+                    *engine = BasisEngine::new(lu);
+                    true
                 }
-            }
-            if best < 1e-12 {
-                return false;
-            }
-            if piv != col {
-                for k in 0..m {
-                    b.swap(col * m + k, piv * m + k);
-                    inv.swap(col * m + k, piv * m + k);
-                }
-            }
-            let d = b[col * m + col];
-            let dinv = 1.0 / d;
-            for k in 0..m {
-                b[col * m + k] *= dinv;
-                inv[col * m + k] *= dinv;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = b[r * m + col];
-                if nonzero(f) {
-                    for k in 0..m {
-                        b[r * m + k] -= f * b[col * m + k];
-                        inv[r * m + k] -= f * inv[col * m + k];
+                Err(_) => false,
+            },
+            Basis::Dense { binv } => {
+                // Dense B (row-major) from basis columns.
+                let mut b = vec![0.0; m * m];
+                for (r, &j) in self.basis.iter().enumerate() {
+                    for (i, a) in self.a.col_iter(j) {
+                        b[i * m + r] = a;
                     }
                 }
+                let mut inv = vec![0.0; m * m];
+                for i in 0..m {
+                    inv[i * m + i] = 1.0;
+                }
+                // Gauss-Jordan with partial pivoting.
+                for col in 0..m {
+                    let mut piv = col;
+                    let mut best = b[col * m + col].abs();
+                    for r in (col + 1)..m {
+                        let v = b[r * m + col].abs();
+                        if v > best {
+                            best = v;
+                            piv = r;
+                        }
+                    }
+                    if best < 1e-12 {
+                        return false;
+                    }
+                    if piv != col {
+                        for k in 0..m {
+                            b.swap(col * m + k, piv * m + k);
+                            inv.swap(col * m + k, piv * m + k);
+                        }
+                    }
+                    let d = b[col * m + col];
+                    let dinv = 1.0 / d;
+                    for k in 0..m {
+                        b[col * m + k] *= dinv;
+                        inv[col * m + k] *= dinv;
+                    }
+                    for r in 0..m {
+                        if r == col {
+                            continue;
+                        }
+                        let f = b[r * m + col];
+                        if nonzero(f) {
+                            for k in 0..m {
+                                b[r * m + k] -= f * b[col * m + k];
+                                inv[r * m + k] -= f * inv[col * m + k];
+                            }
+                        }
+                    }
+                }
+                *binv = inv;
+                true
             }
         }
-        self.binv = inv;
-        true
+    }
+
+    /// Whether the sparse engine's eta file has outgrown its factors.
+    fn rep_wants_refactor(&self) -> bool {
+        match &self.rep {
+            Basis::Dense { .. } => false,
+            Basis::Sparse { engine } => engine.wants_refactor(),
+        }
     }
 
     /// y' = c_B' B^{-1} for the given basic costs.
-    fn btran(&self, cb: &[f64], y: &mut [f64]) {
+    pub(crate) fn btran(&self, cb: &[f64], y: &mut [f64], scratch: &mut Vec<f64>) {
         let m = self.m;
-        for v in y.iter_mut() {
-            *v = 0.0;
-        }
-        for (r, &c) in cb.iter().enumerate() {
-            if nonzero(c) {
-                let row = &self.binv[r * m..(r + 1) * m];
-                for i in 0..m {
-                    y[i] += c * row[i];
+        match &self.rep {
+            Basis::Dense { binv } => {
+                for v in y.iter_mut() {
+                    *v = 0.0;
                 }
+                for (r, &c) in cb.iter().enumerate() {
+                    if nonzero(c) {
+                        let row = &binv[r * m..(r + 1) * m];
+                        for i in 0..m {
+                            y[i] += c * row[i];
+                        }
+                    }
+                }
+            }
+            Basis::Sparse { engine } => {
+                y.copy_from_slice(cb);
+                engine.btran(y, scratch);
             }
         }
     }
 
     /// d = B^{-1} A_j.
-    fn ftran(&self, j: usize, d: &mut [f64]) {
+    fn ftran(&self, j: usize, d: &mut [f64], scratch: &mut Vec<f64>) {
         let m = self.m;
-        for v in d.iter_mut() {
-            *v = 0.0;
-        }
-        for &(i, a) in &self.cols[j] {
-            if nonzero(a) {
-                for (r, dr) in d.iter_mut().enumerate().take(m) {
-                    *dr += self.binv[r * m + i] * a;
+        match &self.rep {
+            Basis::Dense { binv } => {
+                for v in d.iter_mut() {
+                    *v = 0.0;
                 }
+                for (i, a) in self.a.col_iter(j) {
+                    if nonzero(a) {
+                        for (r, dr) in d.iter_mut().enumerate().take(m) {
+                            *dr += binv[r * m + i] * a;
+                        }
+                    }
+                }
+            }
+            Basis::Sparse { engine } => {
+                for v in d.iter_mut() {
+                    *v = 0.0;
+                }
+                self.a.gather_col(j, d);
+                engine.ftran(d, scratch);
             }
         }
     }
 
-    /// Product-form update of B^{-1} after column `enter` replaces the basic
-    /// variable in row `r`, with pivot column `d = B^{-1} A_enter`.
-    fn update_binv(&mut self, r: usize, d: &[f64]) {
-        let m = self.m;
-        let piv = d[r];
-        let pinv = 1.0 / piv;
-        // Scale pivot row.
-        for k in 0..m {
-            self.binv[r * m + k] *= pinv;
+    /// Row `r` of `B^{-1}` (i.e. `e_r' B^{-1}`), used by the devex weight
+    /// update.
+    fn pivot_row(&self, r: usize, scratch: &mut Vec<f64>) -> Vec<f64> {
+        match &self.rep {
+            Basis::Dense { binv } => binv[r * self.m..(r + 1) * self.m].to_vec(),
+            Basis::Sparse { engine } => {
+                let mut z = vec![0.0; self.m];
+                z[r] = 1.0;
+                engine.btran(&mut z, scratch);
+                z
+            }
         }
-        for row in 0..m {
-            if row == r {
+    }
+
+    /// Updates the basis representation after column `enter` replaces the
+    /// basic variable in row `r`, with pivot column `d = B^{-1} A_enter`:
+    /// product-form update of the dense inverse, or an eta record for the
+    /// sparse engine.
+    fn update_rep(&mut self, r: usize, d: &[f64]) {
+        match &mut self.rep {
+            Basis::Dense { binv } => update_binv_dense(binv, self.m, r, d),
+            Basis::Sparse { engine } => engine.push_eta(r, d),
+        }
+    }
+
+    /// Reduced cost, step direction, and dual violation of nonbasic column
+    /// `j`; `None` for basic or fixed columns.
+    #[inline]
+    fn price_one(&self, j: usize, cost: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+        let st = self.state[j];
+        if matches!(st, VarState::Basic(_)) {
+            return None;
+        }
+        if self.upper[j] - self.lower[j] <= 0.0 {
+            return None; // fixed
+        }
+        let rc = cost[j] - self.a.col_dot(j, y);
+        let (viol, dir) = match st {
+            VarState::AtLower => (-rc, 1.0),
+            VarState::AtUpper => (rc, -1.0),
+            VarState::FreeZero => {
+                if rc < 0.0 {
+                    (-rc, 1.0)
+                } else {
+                    (rc, -1.0)
+                }
+            }
+            // audit:allow(no-panic-paths, pricing scans only nonbasic columns; Basic is filtered above)
+            VarState::Basic(_) => unreachable!(),
+        };
+        Some((rc, dir, viol))
+    }
+
+    /// Bland's rule: the first column violating dual feasibility.
+    fn price_first_violation(&self, cost: &[f64], y: &[f64]) -> Option<(usize, f64, f64)> {
+        for j in 0..self.ncols {
+            if let Some((rc, dir, viol)) = self.price_one(j, cost, y) {
+                if viol > self.opts.opt_tol {
+                    return Some((j, rc, dir));
+                }
+            }
+        }
+        None
+    }
+
+    /// Dantzig pricing: largest dual violation, first column on ties.
+    fn price_dantzig(&self, cost: &[f64], y: &[f64]) -> Option<(usize, f64, f64)> {
+        let mut enter: Option<(usize, f64, f64)> = None;
+        for j in 0..self.ncols {
+            let Some((_rc, dir, viol)) = self.price_one(j, cost, y) else {
+                continue;
+            };
+            if viol > self.opts.opt_tol {
+                match enter {
+                    Some((_, brc, _)) if viol <= brc.abs() => {}
+                    _ => enter = Some((j, if dir > 0.0 { -viol } else { viol }, dir)),
+                }
+            }
+        }
+        enter
+    }
+
+    /// Devex pricing over the candidate list, falling back to a full scan
+    /// (which also rebuilds the list). Optimality is only declared from a
+    /// full scan.
+    fn price_devex(
+        &self,
+        cost: &[f64],
+        y: &[f64],
+        weights: &[f64],
+        cands: &mut Vec<usize>,
+    ) -> Option<(usize, f64, f64)> {
+        if !cands.is_empty() {
+            let mut best: Option<(usize, f64, f64, f64)> = None;
+            let mut alive = Vec::with_capacity(cands.len());
+            for &j in cands.iter() {
+                let Some((rc, dir, viol)) = self.price_one(j, cost, y) else {
+                    continue;
+                };
+                if viol > self.opts.opt_tol {
+                    alive.push(j);
+                    let score = viol * viol / weights[j];
+                    if best.is_none_or(|(.., bs)| score > bs) {
+                        best = Some((j, rc, dir, score));
+                    }
+                }
+            }
+            *cands = alive;
+            if let Some((j, rc, dir, _)) = best {
+                return Some((j, rc, dir));
+            }
+        }
+        // Full scan; rebuild the candidate list from the top scorers.
+        let mut viols: Vec<(usize, f64, f64, f64)> = Vec::new();
+        for (j, &w) in weights.iter().enumerate().take(self.ncols) {
+            let Some((rc, dir, viol)) = self.price_one(j, cost, y) else {
+                continue;
+            };
+            if viol > self.opts.opt_tol {
+                viols.push((j, rc, dir, viol * viol / w));
+            }
+        }
+        if viols.is_empty() {
+            return None;
+        }
+        viols.sort_by(|a, b| b.3.total_cmp(&a.3).then(a.0.cmp(&b.0)));
+        viols.truncate(DEVEX_CANDIDATES);
+        *cands = viols.iter().map(|&(j, ..)| j).collect();
+        let (j, rc, dir, _) = viols[0];
+        Some((j, rc, dir))
+    }
+
+    /// Devex reference-weight update after a pivot: `alpha_j` is row `r` of
+    /// `B^{-1} A` restricted to the candidate list (the only columns whose
+    /// weights are ever read before the next full scan refreshes the list).
+    #[allow(clippy::too_many_arguments)]
+    fn update_devex_weights(
+        &self,
+        weights: &mut [f64],
+        cands: &[usize],
+        jin: usize,
+        jout: usize,
+        r: usize,
+        d: &[f64],
+        scratch: &mut Vec<f64>,
+    ) {
+        let alpha_q = d[r];
+        if alpha_q.abs() <= self.opts.pivot_tol {
+            return;
+        }
+        let wq = weights[jin].max(1.0);
+        let z = self.pivot_row(r, scratch);
+        for &j in cands {
+            if j == jin {
                 continue;
             }
-            let f = d[row];
-            if nonzero(f) {
-                // binv[row, :] -= f * binv[r, :]
-                let (head, tail) = self.binv.split_at_mut(r.max(row) * m);
-                let (dst, src) = if row < r {
-                    (&mut head[row * m..row * m + m], &tail[..m])
-                } else {
-                    (&mut tail[..m], &head[r * m..r * m + m])
-                };
-                for k in 0..m {
-                    dst[k] -= f * src[k];
-                }
+            let alpha = self.a.col_dot(j, &z);
+            let ratio = alpha / alpha_q;
+            let cand = ratio * ratio * wq;
+            if cand > weights[j] {
+                weights[j] = cand;
+            }
+        }
+        let wref = (wq / (alpha_q * alpha_q)).max(1.0);
+        weights[jout] = wref;
+        if wref > DEVEX_WEIGHT_RESET {
+            for w in weights.iter_mut() {
+                *w = 1.0;
             }
         }
     }
@@ -257,8 +512,16 @@ impl Tableau {
         let mut y = vec![0.0; m];
         let mut d = vec![0.0; m];
         let mut cb: Vec<f64> = vec![0.0; m];
+        let mut scratch: Vec<f64> = Vec::new();
         let mut degenerate_run = 0usize;
         let mut since_reinvert = 0usize;
+        let devex = matches!(self.opts.pricing, Pricing::Devex);
+        let mut weights: Vec<f64> = if devex {
+            vec![1.0; self.ncols]
+        } else {
+            Vec::new()
+        };
+        let mut cands: Vec<usize> = Vec::new();
 
         loop {
             if self.iterations >= max_iter {
@@ -268,52 +531,22 @@ impl Tableau {
             for (r, c) in cb.iter_mut().enumerate().take(m) {
                 *c = cost[self.basis[r]];
             }
-            self.btran(&cb, &mut y);
+            self.btran(&cb, &mut y, &mut scratch);
 
             // Pricing: pick entering column.
             let use_bland = degenerate_run >= self.opts.bland_after;
-            let mut enter: Option<(usize, f64, f64)> = None; // (col, rc, dir)
-            'pricing: for (j, &cj) in cost.iter().enumerate().take(self.ncols) {
-                let st = self.state[j];
-                if matches!(st, VarState::Basic(_)) {
-                    continue;
-                }
-                if self.upper[j] - self.lower[j] <= 0.0 {
-                    continue; // fixed
-                }
-                let mut rc = cj;
-                for &(i, a) in &self.cols[j] {
-                    rc -= y[i] * a;
-                }
-                let (viol, dir) = match st {
-                    VarState::AtLower => (-rc, 1.0),
-                    VarState::AtUpper => (rc, -1.0),
-                    VarState::FreeZero => {
-                        if rc < 0.0 {
-                            (-rc, 1.0)
-                        } else {
-                            (rc, -1.0)
-                        }
-                    }
-                    // audit:allow(no-panic-paths, pricing scans only nonbasic columns; Basic is filtered above)
-                    VarState::Basic(_) => unreachable!(),
-                };
-                if viol > self.opts.opt_tol {
-                    if use_bland {
-                        enter = Some((j, rc, dir));
-                        break 'pricing;
-                    }
-                    match enter {
-                        Some((_, brc, _)) if viol <= brc.abs() => {}
-                        _ => enter = Some((j, if dir > 0.0 { -viol } else { viol }, dir)),
-                    }
-                }
-            }
+            let enter = if use_bland {
+                self.price_first_violation(cost, &y)
+            } else if devex {
+                self.price_devex(cost, &y, &weights, &mut cands)
+            } else {
+                self.price_dantzig(cost, &y)
+            };
             let Some((jin, _rc, dir)) = enter else {
                 return Status::Optimal;
             };
 
-            self.ftran(jin, &mut d);
+            self.ftran(jin, &mut d, &mut scratch);
 
             // Ratio test: entering moves by t >= 0 in direction `dir`;
             // basic values change by -dir * t * d.
@@ -387,10 +620,21 @@ impl Tableau {
                         // audit:allow(no-panic-paths, the entering column is nonbasic by construction)
                         VarState::Basic(_) => unreachable!(),
                     };
+                    let jout = self.basis[r];
+                    if devex {
+                        self.update_devex_weights(
+                            &mut weights,
+                            &cands,
+                            jin,
+                            jout,
+                            r,
+                            &d,
+                            &mut scratch,
+                        );
+                    }
                     for (i, &di) in d.iter().enumerate().take(m) {
                         self.xb[i] += -dir * t * di;
                     }
-                    let jout = self.basis[r];
                     self.state[jout] = if at_upper {
                         VarState::AtUpper
                     } else {
@@ -400,9 +644,9 @@ impl Tableau {
                     self.basis[r] = jin;
                     self.state[jin] = VarState::Basic(r);
                     self.xb[r] = xin;
-                    self.update_binv(r, &d);
+                    self.update_rep(r, &d);
 
-                    if since_reinvert >= self.opts.reinvert_every {
+                    if since_reinvert >= self.opts.reinvert_every || self.rep_wants_refactor() {
                         since_reinvert = 0;
                         if !self.reinvert() {
                             // Singular after drift: rebuild conservatively.
@@ -428,6 +672,35 @@ impl Tableau {
             }
         }
         s
+    }
+}
+
+/// Product-form update of a dense `B^{-1}` after a pivot in row `r` with
+/// pivot column `d`.
+fn update_binv_dense(binv: &mut [f64], m: usize, r: usize, d: &[f64]) {
+    let piv = d[r];
+    let pinv = 1.0 / piv;
+    // Scale pivot row.
+    for k in 0..m {
+        binv[r * m + k] *= pinv;
+    }
+    for row in 0..m {
+        if row == r {
+            continue;
+        }
+        let f = d[row];
+        if nonzero(f) {
+            // binv[row, :] -= f * binv[r, :]
+            let (head, tail) = binv.split_at_mut(r.max(row) * m);
+            let (dst, src) = if row < r {
+                (&mut head[row * m..row * m + m], &tail[..m])
+            } else {
+                (&mut tail[..m], &head[r * m..r * m + m])
+            };
+            for k in 0..m {
+                dst[k] -= f * src[k];
+            }
+        }
     }
 }
 
@@ -504,6 +777,11 @@ pub(crate) struct SolverState {
 /// Reads the structural solution out of a terminal tableau and applies the
 /// same status demotion as the cold path: an "optimal" basis that violates
 /// bounds by more than 1e-5 is reported as [`Status::IterationLimit`].
+///
+/// At optimality the row duals are recovered by one btran of the basic
+/// phase-2 costs, unscaled back to the original row space (`y_i =
+/// sign · rscale_i · ỹ_i`, with `sign` flipping for maximization so the
+/// reported dual is always d(objective)/d(rhs_i) in the model's own sense).
 pub(crate) fn extract(
     tab: &Tableau,
     problem: &LpProblem,
@@ -539,21 +817,52 @@ pub(crate) fn extract(
         }
         s => s,
     };
+    let mut duals = vec![0.0; problem.rows.len()];
+    if status == Status::Optimal && problem.rows.len() == tab.m {
+        let sign = match problem.sense {
+            Sense::Maximize => -1.0,
+            Sense::Minimize => 1.0,
+        };
+        let mut cb = vec![0.0; tab.m];
+        for (r, c) in cb.iter_mut().enumerate() {
+            *c = tab.cost[tab.basis[r]];
+        }
+        let mut y = vec![0.0; tab.m];
+        let mut scratch = Vec::new();
+        tab.btran(&cb, &mut y, &mut scratch);
+        for (i, dy) in duals.iter_mut().enumerate() {
+            *dy = sign * tab.rscale[i] * y[i];
+        }
+    }
     Solution {
         status,
         objective,
         x,
+        duals,
         iterations: tab.iterations,
     }
 }
 
-/// Solves `problem`; see module docs for the algorithm.
+/// Solves `problem`; see module docs for the algorithm. One-shot solves run
+/// presolve/postsolve when [`SimplexOptions::presolve`] is set.
 pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Solution {
-    solve_with_state(problem, opts).0
+    if opts.presolve {
+        match crate::presolve::presolve(problem, opts) {
+            crate::presolve::Presolved::Decided(sol) => sol,
+            crate::presolve::Presolved::Reduced(red) => {
+                let (sol, _) = solve_with_state(&red.reduced, opts);
+                red.postsolve(problem, sol)
+            }
+        }
+    } else {
+        solve_with_state(problem, opts).0
+    }
 }
 
 /// Like [`solve`], but additionally returns the terminal solver workspace
 /// when the solve ran to completion, for use by [`crate::incremental`].
+/// Never presolves: the retained basis must map 1:1 onto the model's rows
+/// and columns so appended cutting planes can reference them.
 pub(crate) fn solve_with_state(
     problem: &LpProblem,
     opts: &SimplexOptions,
@@ -571,13 +880,15 @@ pub(crate) fn solve_with_state(
     let nslack = n + m;
     let ncols = n + 2 * m;
 
-    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nslack];
     for (i, row) in problem.rows.iter().enumerate() {
         for &(j, a) in &row.coeffs {
             cols[j].push((i, a * rscale[i] * cscale[j]));
         }
         cols[nslack - m + i].push((i, -1.0));
     }
+    let mut a = CscMatrix::from_cols(m, &cols);
+    drop(cols);
 
     let mut lower = vec![0.0; ncols];
     let mut upper = vec![0.0; ncols];
@@ -618,8 +929,8 @@ pub(crate) fn solve_with_state(
             _ => 0.0,
         };
         if nonzero(v) {
-            for &(i, a) in &cols[j] {
-                resid[i] += a * v;
+            for (i, av) in a.col_iter(j) {
+                resid[i] += av * v;
             }
         }
     }
@@ -627,35 +938,62 @@ pub(crate) fn solve_with_state(
     let mut basis = Vec::with_capacity(m);
     let mut phase1_cost = vec![0.0; ncols];
     for (i, &ri) in resid.iter().enumerate().take(m) {
-        let a = n + m + i;
+        let acol = n + m + i;
         let s = if ri >= 0.0 { -1.0 } else { 1.0 };
-        cols[a].push((i, s));
-        lower[a] = 0.0;
-        upper[a] = f64::INFINITY;
-        phase1_cost[a] = 1.0;
-        state[a] = VarState::Basic(i);
-        basis.push(a);
+        let pushed = a.push_col([(i, s)]);
+        debug_assert_eq!(pushed, acol);
+        lower[acol] = 0.0;
+        upper[acol] = f64::INFINITY;
+        phase1_cost[acol] = 1.0;
+        state[acol] = VarState::Basic(i);
+        basis.push(acol);
     }
+
+    // Initial basis of artificials: B = diag(sign), B^{-1} = diag(sign).
+    let rep = match opts.engine {
+        EngineKind::Dense => {
+            let mut binv = vec![0.0; m * m];
+            for (i, &ri) in resid.iter().enumerate().take(m) {
+                let s = if ri >= 0.0 { -1.0 } else { 1.0 };
+                binv[i * m + i] = s;
+            }
+            Basis::Dense { binv }
+        }
+        EngineKind::Sparse => match SparseLu::factor_basis(&a, &basis) {
+            Ok(lu) => Basis::Sparse {
+                engine: BasisEngine::new(lu),
+            },
+            Err(_) => {
+                // A diagonal +-1 basis cannot be singular; report failure
+                // conservatively instead of panicking.
+                let sol = Solution {
+                    status: Status::IterationLimit,
+                    objective: f64::NAN,
+                    x: vec![0.0; n],
+                    duals: vec![0.0; m],
+                    iterations: 0,
+                };
+                return (sol, None);
+            }
+        },
+    };
 
     let mut tab = Tableau {
         m,
         ncols,
-        cols,
+        a,
         lower,
         upper,
         cost,
         state,
         basis,
-        binv: Vec::new(),
+        rep,
         xb: vec![0.0; m],
+        rscale,
         opts: opts.clone(),
         iterations: 0,
     };
-    // Basis of artificials: B = diag(sign), B^{-1} = diag(sign).
-    tab.binv = vec![0.0; m * m];
     for (i, &ri) in resid.iter().enumerate().take(m) {
-        let s = if ri >= 0.0 { -1.0 } else { 1.0 };
-        tab.binv[i * m + i] = s;
         tab.xb[i] = ri.abs();
     }
 
@@ -679,6 +1017,7 @@ pub(crate) fn solve_with_state(
             status: Status::IterationLimit,
             objective: f64::NAN,
             x: vec![0.0; n],
+            duals: vec![0.0; m],
             iterations: tab.iterations,
         };
         return (sol, None);
@@ -688,16 +1027,17 @@ pub(crate) fn solve_with_state(
             status: Status::Infeasible,
             objective: f64::NAN,
             x: vec![0.0; n],
+            duals: vec![0.0; m],
             iterations: tab.iterations,
         };
         return (sol, None);
     }
     // Fix artificials at zero for phase 2.
     for i in 0..m {
-        let a = n + m + i;
-        tab.upper[a] = 0.0;
-        if !matches!(tab.state[a], VarState::Basic(_)) {
-            tab.state[a] = VarState::AtLower;
+        let acol = n + m + i;
+        tab.upper[acol] = 0.0;
+        if !matches!(tab.state[acol], VarState::Basic(_)) {
+            tab.state[acol] = VarState::AtLower;
         }
     }
 
@@ -716,6 +1056,7 @@ pub(crate) fn solve_with_state(
 
 #[cfg(test)]
 mod tests {
+    use super::{EngineKind, Pricing, SimplexOptions};
     use crate::model::{LpProblem, Sense, Status};
 
     fn assert_close(a: f64, b: f64) {
@@ -941,5 +1282,86 @@ mod tests {
         lp.add_eq(vec![(sb, 1.0), (ab, 1.0), (bt, -1.0)], 0.0);
         let s = lp.solve().unwrap();
         assert_close(s.objective, 5.0);
+    }
+
+    /// A moderately sized LP with a unique optimum, for cross-engine and
+    /// cross-pricing comparisons.
+    fn cross_check_lp() -> LpProblem {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let n = 12;
+        let vars: Vec<_> = (0..n)
+            .map(|j| lp.add_var(0.0, 4.0 + j as f64, 1.0 + (j as f64) * 0.37))
+            .collect();
+        for i in 0..n - 1 {
+            lp.add_ge(
+                vec![(vars[i], 1.0), (vars[i + 1], 0.5 + 0.1 * i as f64)],
+                2.0 + i as f64 * 0.25,
+            );
+        }
+        lp.add_le((0..n).map(|j| (vars[j], 1.0)), 40.0);
+        lp
+    }
+
+    #[test]
+    fn engines_agree_on_objective() {
+        let mut dense = cross_check_lp();
+        dense.set_options(SimplexOptions {
+            engine: EngineKind::Dense,
+            ..SimplexOptions::default()
+        });
+        let mut sparse = cross_check_lp();
+        sparse.set_options(SimplexOptions {
+            engine: EngineKind::Sparse,
+            ..SimplexOptions::default()
+        });
+        let sd = dense.solve().unwrap();
+        let ss = sparse.solve().unwrap();
+        assert_eq!(sd.status, Status::Optimal);
+        assert_eq!(ss.status, Status::Optimal);
+        assert_close(ss.objective, sd.objective);
+    }
+
+    #[test]
+    fn pricing_rules_agree_on_objective() {
+        let mut dantzig = cross_check_lp();
+        dantzig.set_options(SimplexOptions {
+            pricing: Pricing::Dantzig,
+            ..SimplexOptions::default()
+        });
+        let mut devex = cross_check_lp();
+        devex.set_options(SimplexOptions {
+            pricing: Pricing::Devex,
+            ..SimplexOptions::default()
+        });
+        let sa = dantzig.solve().unwrap();
+        let sb = devex.solve().unwrap();
+        assert_eq!(sa.status, Status::Optimal);
+        assert_eq!(sb.status, Status::Optimal);
+        assert_close(sa.objective, sb.objective);
+    }
+
+    #[test]
+    fn duals_price_out_interior_variables() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3: optimum (7, 3),
+        // x strictly interior => c_x = y_row * 1 exactly, so y_row = 2.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(2.0, f64::INFINITY, 2.0);
+        let y = lp.add_var(3.0, f64::INFINITY, 3.0);
+        lp.add_ge(vec![(x, 1.0), (y, 1.0)], 10.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.duals.len(), 1);
+        assert_close(s.duals[0], 2.0);
+    }
+
+    #[test]
+    fn duals_flip_sign_with_sense() {
+        // max 3x s.t. x <= 4: relaxing the row by 1 gains 3.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg(3.0);
+        lp.add_le(vec![(x, 1.0)], 4.0);
+        let s = lp.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_close(s.duals[0], 3.0);
     }
 }

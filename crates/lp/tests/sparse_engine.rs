@@ -1,0 +1,429 @@
+//! Property tests for the sparse basis engine and the presolve round-trip.
+//!
+//! The dense LU in `linsys` is the reference implementation: the sparse
+//! engine's dense-compat factorization must be *bit-identical* to it (the
+//! replay cache depends on that), the Markowitz factorization must agree
+//! to rounding, eta updates must track refactorization, and
+//! presolve∘postsolve must be the identity on objective, row feasibility,
+//! and the dual pricing relation.
+
+use pcf_lp::{
+    lu_factor, BasisEngine, CscMatrix, DenseMatrix, LpProblem, Sense, SimplexOptions, SparseLu,
+    Status,
+};
+use pcf_rng::{forall, no_shrink, Config, Pcg32};
+
+/// A random square matrix with controlled density, sometimes ill-scaled.
+#[derive(Debug, Clone)]
+struct RandMat {
+    n: usize,
+    /// Dense row-major entries (zeros included).
+    a: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+fn gen_mat(rng: &mut Pcg32) -> RandMat {
+    let n = rng.range_usize_inclusive(2, 7);
+    let density = rng.range_f64(0.3, 1.0);
+    let mut a = vec![0.0; n * n];
+    for (k, slot) in a.iter_mut().enumerate() {
+        let (i, j) = (k / n, k % n);
+        // Keep the diagonal mostly populated so singular draws stay rare
+        // (the property still handles them).
+        if i == j || rng.chance(density) {
+            *slot = rng.range_f64(-4.0, 4.0);
+        }
+    }
+    // Occasionally make a column tiny to probe near-singularity handling.
+    if rng.chance(0.15) {
+        let j = rng.range_usize(0, n);
+        let scale = if rng.chance(0.5) { 1e-10 } else { 1e-14 };
+        for i in 0..n {
+            a[i * n + j] *= scale;
+        }
+    }
+    let rhs = (0..n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
+    RandMat { n, a, rhs }
+}
+
+fn dense_of(m: &RandMat) -> DenseMatrix {
+    let mut d = DenseMatrix::zeros(m.n);
+    for i in 0..m.n {
+        for j in 0..m.n {
+            d.set(i, j, m.a[i * m.n + j]);
+        }
+    }
+    d
+}
+
+fn csc_of(m: &RandMat) -> CscMatrix {
+    let cols: Vec<Vec<(usize, f64)>> = (0..m.n)
+        .map(|j| {
+            (0..m.n)
+                .filter(|&i| m.a[i * m.n + j] != 0.0)
+                .map(|i| (i, m.a[i * m.n + j]))
+                .collect()
+        })
+        .collect();
+    CscMatrix::from_cols(m.n, &cols)
+}
+
+fn residual(m: &RandMat, x: &[f64], b: &[f64]) -> f64 {
+    let mut worst = 0.0f64;
+    for (i, &bi) in b.iter().enumerate().take(m.n) {
+        let ax: f64 = (0..m.n).map(|j| m.a[i * m.n + j] * x[j]).sum();
+        worst = worst.max((ax - bi).abs());
+    }
+    worst
+}
+
+fn mat_norm(m: &RandMat) -> f64 {
+    m.a.iter().fold(1.0f64, |w, v| w.max(v.abs()))
+}
+
+#[test]
+fn dense_compat_is_bit_identical_to_reference_lu() {
+    forall(
+        "dense_compat_is_bit_identical_to_reference_lu",
+        &Config {
+            cases: 300,
+            ..Config::default()
+        },
+        gen_mat,
+        no_shrink,
+        |m| {
+            let d = dense_of(m);
+            let reference = lu_factor(&d);
+            let sparse = SparseLu::factor_dense_compat(&d);
+            match (reference, sparse) {
+                (Err(_), Err(_)) => Ok(()), // agree on singularity
+                (Ok(_), Err(e)) => Err(format!("sparse rejected what dense accepted: {e}")),
+                (Err(e), Ok(_)) => Err(format!("sparse accepted what dense rejected: {e}")),
+                (Ok(rf), Ok(sf)) => {
+                    let xr = rf.solve(&m.rhs);
+                    let xs = sf.solve(&m.rhs);
+                    for (j, (a, b)) in xr.iter().zip(&xs).enumerate() {
+                        if a.to_bits() != b.to_bits() {
+                            return Err(format!("x[{j}] differs: {a:?} vs {b:?}"));
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn markowitz_factorization_solves_to_rounding() {
+    forall(
+        "markowitz_factorization_solves_to_rounding",
+        &Config {
+            cases: 300,
+            ..Config::default()
+        },
+        gen_mat,
+        no_shrink,
+        |m| {
+            let csc = csc_of(m);
+            let basis: Vec<usize> = (0..m.n).collect();
+            match SparseLu::factor_basis(&csc, &basis) {
+                Err(_) => Ok(()), // near-singular draws may be rejected
+                Ok(f) => {
+                    let x = f.solve(&m.rhs);
+                    let r = residual(m, &x, &m.rhs);
+                    // Scale-aware bound: ill-conditioned draws amplify
+                    // roundoff through the solve.
+                    let xmax = x.iter().fold(1.0f64, |w, v| w.max(v.abs()));
+                    let tol = 1e-7 * mat_norm(m) * xmax;
+                    if r > tol {
+                        return Err(format!("residual {r} exceeds {tol}"));
+                    }
+                    Ok(())
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn permuted_identity_factors_exactly() {
+    forall(
+        "permuted_identity_factors_exactly",
+        &Config {
+            cases: 100,
+            ..Config::default()
+        },
+        |rng| {
+            let n = rng.range_usize_inclusive(2, 12);
+            let mut perm: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut perm);
+            let rhs: Vec<f64> = (0..n).map(|_| rng.range_f64(-8.0, 8.0)).collect();
+            (perm, rhs)
+        },
+        no_shrink,
+        |(perm, rhs)| {
+            let n = perm.len();
+            // Column j has a single 1.0 in row perm[j]: x[j] = rhs[perm[j]].
+            let cols: Vec<Vec<(usize, f64)>> = perm.iter().map(|&i| vec![(i, 1.0)]).collect();
+            let csc = CscMatrix::from_cols(n, &cols);
+            let basis: Vec<usize> = (0..n).collect();
+            let f = SparseLu::factor_basis(&csc, &basis)
+                .map_err(|e| format!("permutation must factor: {e}"))?;
+            let x = f.solve(rhs);
+            for j in 0..n {
+                if x[j].to_bits() != rhs[perm[j]].to_bits() {
+                    return Err(format!("x[{j}] = {} != {}", x[j], rhs[perm[j]]));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Eta updates after column replacements must agree with refactorizing the
+/// updated basis from scratch.
+#[test]
+fn eta_updates_match_refactorization() {
+    forall(
+        "eta_updates_match_refactorization",
+        &Config {
+            cases: 150,
+            ..Config::default()
+        },
+        |rng| {
+            let n = rng.range_usize_inclusive(2, 6);
+            // Pool of 2n well-scaled columns; basis starts as the first n.
+            let ncols = 2 * n;
+            let mut mat = RandMat {
+                n,
+                a: vec![0.0; n * ncols],
+                rhs: (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect(),
+            };
+            for j in 0..ncols {
+                for i in 0..n {
+                    if i == j % n || rng.chance(0.6) {
+                        mat.a[i * ncols + j] = rng.range_f64(-3.0, 3.0);
+                    }
+                }
+            }
+            let swaps = rng.range_usize_inclusive(1, 4);
+            let plan: Vec<(usize, usize)> = (0..swaps)
+                .map(|_| (rng.range_usize(0, n), rng.range_usize(n, ncols)))
+                .collect();
+            (mat, plan)
+        },
+        no_shrink,
+        |(mat, plan)| {
+            let n = mat.n;
+            let ncols = 2 * n;
+            let cols: Vec<Vec<(usize, f64)>> = (0..ncols)
+                .map(|j| {
+                    (0..n)
+                        .filter(|&i| mat.a[i * ncols + j] != 0.0)
+                        .map(|i| (i, mat.a[i * ncols + j]))
+                        .collect()
+                })
+                .collect();
+            let csc = CscMatrix::from_cols(n, &cols);
+            let mut basis: Vec<usize> = (0..n).collect();
+            let Ok(core) = SparseLu::factor_basis(&csc, &basis) else {
+                return Ok(()); // singular start: nothing to track
+            };
+            let mut engine = BasisEngine::new(core);
+            let mut scratch = Vec::new();
+            for &(r, jin) in plan {
+                // d = B^-1 a_jin via the engine, then replace column r.
+                let mut d = vec![0.0; n];
+                csc.gather_col(jin, &mut d);
+                engine.ftran(&mut d, &mut scratch);
+                if d[r].abs() < 1e-8 {
+                    return Ok(()); // pivot too small; simplex would not pick it
+                }
+                engine.push_eta(r, &d);
+                basis[r] = jin;
+            }
+            // Engine solve vs scratch refactorization of the final basis.
+            let Ok(fresh) = SparseLu::factor_basis(&csc, &basis) else {
+                return Ok(()); // updated basis became singular
+            };
+            let mut xe = mat.rhs.clone();
+            engine.ftran(&mut xe, &mut scratch);
+            let xf = fresh.solve(&mat.rhs);
+            for j in 0..n {
+                let err = (xe[j] - xf[j]).abs();
+                let tol = 1e-6 * (1.0 + xf[j].abs());
+                if err > tol {
+                    return Err(format!("x[{j}]: eta {} vs fresh {}", xe[j], xf[j]));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---- Presolve round-trip ----
+
+#[derive(Debug, Clone)]
+struct SmallLp {
+    n: usize,
+    sense: Sense,
+    obj: Vec<f64>,
+    bounds: Vec<(f64, f64)>,
+    rows: Vec<(Vec<f64>, f64, f64)>, // dense coeffs (zeros allowed), lo, hi
+}
+
+fn gen_presolve_lp(rng: &mut Pcg32) -> SmallLp {
+    let n = rng.range_usize_inclusive(2, 5);
+    let sense = if rng.chance(0.5) {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    };
+    let obj: Vec<f64> = (0..n)
+        .map(|_| {
+            if rng.chance(0.25) {
+                0.0 // zero-cost columns enable the implied-slack reduction
+            } else {
+                rng.range_f64(-5.0, 5.0)
+            }
+        })
+        .collect();
+    let bounds: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            if rng.chance(0.15) {
+                let v = rng.range_f64(0.0, 3.0);
+                (v, v) // fixed variable
+            } else {
+                (rng.range_f64(0.0, 2.0), rng.range_f64(2.5, 6.0))
+            }
+        })
+        .collect();
+    let nrows = rng.range_usize_inclusive(1, 4);
+    let mut rows: Vec<(Vec<f64>, f64, f64)> = (0..nrows)
+        .map(|_| {
+            let c: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.chance(0.35) {
+                        0.0 // sparsity creates singleton and empty columns
+                    } else {
+                        rng.range_f64(-3.0, 3.0)
+                    }
+                })
+                .collect();
+            (c, rng.range_f64(-10.0, 0.0), rng.range_f64(1.0, 12.0))
+        })
+        .collect();
+    // Sometimes append an exact duplicate (scaled) of an existing row.
+    if rng.chance(0.3) {
+        let i = rng.range_usize(0, rows.len());
+        let lambda = *rng.pick(&[2.0, -1.0, 0.5]);
+        let (c, l, u) = rows[i].clone();
+        let sc: Vec<f64> = c.iter().map(|&a| a * lambda).collect();
+        let (mut sl, mut su) = (l * lambda, u * lambda);
+        if lambda < 0.0 {
+            std::mem::swap(&mut sl, &mut su);
+        }
+        // Widen so the duplicate is consistent with the original.
+        rows.push((sc, sl - 1.0, su + 1.0));
+    }
+    SmallLp {
+        n,
+        sense,
+        obj,
+        bounds,
+        rows,
+    }
+}
+
+fn build_lp(inst: &SmallLp, presolve: bool) -> LpProblem {
+    let mut lp = LpProblem::new(inst.sense);
+    let vars: Vec<_> = (0..inst.n)
+        .map(|j| lp.add_var(inst.bounds[j].0, inst.bounds[j].1, inst.obj[j]))
+        .collect();
+    for (c, l, u) in &inst.rows {
+        lp.add_row(
+            vars.iter()
+                .zip(c)
+                .filter(|(_, &a)| a != 0.0)
+                .map(|(&v, &a)| (v, a)),
+            *l,
+            *u,
+        );
+    }
+    if !presolve {
+        lp.set_options(SimplexOptions {
+            presolve: false,
+            ..SimplexOptions::default()
+        });
+    }
+    lp
+}
+
+#[test]
+fn presolve_postsolve_is_identity_on_objective_and_duals() {
+    forall(
+        "presolve_postsolve_is_identity_on_objective_and_duals",
+        &Config {
+            cases: 300,
+            ..Config::default()
+        },
+        gen_presolve_lp,
+        no_shrink,
+        |inst| {
+            let with = build_lp(inst, true).solve().unwrap();
+            let without = build_lp(inst, false).solve().unwrap();
+            if with.status != without.status {
+                return Err(format!(
+                    "status diverged: presolve {} vs direct {}",
+                    with.status, without.status
+                ));
+            }
+            if with.status != Status::Optimal {
+                return Ok(());
+            }
+            let tol = 1e-6 * (1.0 + without.objective.abs());
+            if (with.objective - without.objective).abs() > tol {
+                return Err(format!(
+                    "objective diverged: presolve {} vs direct {}",
+                    with.objective, without.objective
+                ));
+            }
+            // Restored x must satisfy every original row and bound.
+            for (j, &(l, u)) in inst.bounds.iter().enumerate() {
+                if with.x[j] < l - 1e-6 || with.x[j] > u + 1e-6 {
+                    return Err(format!("x[{j}] = {} outside [{l}, {u}]", with.x[j]));
+                }
+            }
+            for (i, (c, l, u)) in inst.rows.iter().enumerate() {
+                let act: f64 = c.iter().zip(&with.x).map(|(a, b)| a * b).sum();
+                if act < l - 1e-5 || act > u + 1e-5 {
+                    return Err(format!("row {i} activity {act} outside [{l}, {u}]"));
+                }
+            }
+            // Dual pricing identity on strictly interior variables:
+            // c_j == sum_i y_i a_ij whenever x_j is away from both bounds.
+            for j in 0..inst.n {
+                let (l, u) = inst.bounds[j];
+                let margin = 1e-4 * (1.0 + with.x[j].abs());
+                if with.x[j] - l < margin || u - with.x[j] < margin {
+                    continue;
+                }
+                let priced: f64 = inst
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (c, _, _))| c[j] * with.duals[i])
+                    .sum();
+                let err = (inst.obj[j] - priced).abs();
+                if err > 1e-5 * (1.0 + inst.obj[j].abs()) {
+                    return Err(format!(
+                        "dual identity broken at var {j}: c = {}, priced = {priced}",
+                        inst.obj[j]
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}

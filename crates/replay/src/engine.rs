@@ -23,8 +23,26 @@ use pcf_core::{
     normal_routing, realize_routing, reservation_matrix, Condition, DegradeMode, DegradedRouting,
     FailureState, Instance, LadderStage, LsId, PairId, RealizeError, Routing, TunnelId,
 };
-use pcf_lp::{lu_factor, LuFactors};
+use pcf_lp::{lu_factor, LuFactors, SparseLu};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Which factorization backend [`ReplayEngine::realize`] uses for the
+/// reservation matrix.
+///
+/// Both backends produce bit-identical solves (the sparse engine's
+/// dense-compat mode replicates the dense pivoting exactly), but their
+/// factor objects are different types with different internals — so the
+/// cache keys every entry by kind, and an entry factored under one kind
+/// is never served to the other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FactorKind {
+    /// Dense Gaussian elimination ([`pcf_lp::lu_factor`]).
+    Dense,
+    /// Sparse LU in dense-compat mode
+    /// ([`pcf_lp::SparseLu::factor_dense_compat`]).
+    #[default]
+    Sparse,
+}
 
 /// Hit/miss/eviction counters of the factorization cache.
 ///
@@ -107,7 +125,23 @@ impl DegradeStats {
 /// hit.
 enum Solved {
     Empty,
-    Factored { pairs: Vec<PairId>, lu: LuFactors },
+    Factored { pairs: Vec<PairId>, lu: Factors },
+}
+
+/// A kind-tagged factorization. Solves are bit-identical across variants;
+/// the tag exists so cache bookkeeping can never mix backends.
+enum Factors {
+    Dense(LuFactors),
+    Sparse(SparseLu),
+}
+
+impl Factors {
+    fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        match self {
+            Factors::Dense(lu) => lu.solve(rhs),
+            Factors::Sparse(lu) => lu.solve(rhs),
+        }
+    }
 }
 
 type CacheEntry = Result<Solved, RealizeError>;
@@ -192,6 +226,7 @@ pub struct ReplayEngine<'a> {
     caps: Vec<f64>,
     degrade: DegradeMode,
     dstats: DegradeStats,
+    factor_kind: FactorKind,
     // Fault-injection hook: pretend every factorization is singular.
     force_singular: bool,
 }
@@ -259,8 +294,18 @@ impl<'a> ReplayEngine<'a> {
                 .collect(),
             degrade: DegradeMode::Off,
             dstats: DegradeStats::default(),
+            factor_kind: FactorKind::default(),
             force_singular: false,
         }
+    }
+
+    /// Selects the factorization backend (default: [`FactorKind::Sparse`]).
+    ///
+    /// Safe to flip mid-trace: cache entries are keyed by kind, so a
+    /// factorization computed under the previous backend is never served
+    /// to the new one (it ages out by FIFO instead).
+    pub fn set_factor_kind(&mut self, kind: FactorKind) {
+        self.factor_kind = kind;
     }
 
     /// Selects how far down the degradation ladder
@@ -376,14 +421,28 @@ impl<'a> ReplayEngine<'a> {
             return res;
         };
         let (inst, a, b, served, tol) = (self.inst, self.a, self.b, self.served, self.tol);
-        let entry = cache.lookup_or_insert(self.sig.clone(), || {
+        let kind = self.factor_kind;
+        // The cache key leads with the factor kind: a dense-era entry must
+        // never answer for the sparse backend (or vice versa), even though
+        // their liveness signatures match.
+        let mut key = Vec::with_capacity(self.sig.len() + 1);
+        key.push(kind as u64);
+        key.extend_from_slice(&self.sig);
+        let entry = cache.lookup_or_insert(key, || {
             let tol_abs = absolute_tolerance(served, tol);
             let pairs = live_pairs(inst, state, a, b, served, tol_abs)?;
             if pairs.is_empty() {
                 return Ok(Solved::Empty);
             }
             let m = reservation_matrix(inst, state, a, b, &pairs);
-            let lu = lu_factor(&m).map_err(|_| RealizeError::SingularMatrix)?;
+            let lu = match kind {
+                FactorKind::Dense => lu_factor(&m)
+                    .map(Factors::Dense)
+                    .map_err(|_| RealizeError::SingularMatrix)?,
+                FactorKind::Sparse => SparseLu::factor_dense_compat(&m)
+                    .map(Factors::Sparse)
+                    .map_err(|_| RealizeError::SingularMatrix)?,
+            };
             Ok(Solved::Factored { pairs, lu })
         });
         match entry {
@@ -679,6 +738,42 @@ mod tests {
         merged.absorb(&stats);
         merged.absorb(&cold.cache_stats());
         assert_eq!(merged.errors, 4);
+    }
+
+    #[test]
+    fn factor_kinds_never_share_cache_entries() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 16);
+        engine.set_factor_kind(FactorKind::Dense);
+        let dense = engine.realize().unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cached_entries(), 1);
+
+        // Same liveness signature, different backend: the dense-era entry
+        // must NOT be served — this is a miss, not a hit.
+        engine.set_factor_kind(FactorKind::Sparse);
+        let sparse = engine.realize().unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0, "dense entry leaked to sparse: {stats:?}");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(engine.cached_entries(), 2);
+
+        // Dense-compat factorization is bit-identical to the dense path.
+        for (x, y) in dense.u.iter().zip(&sparse.u) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in dense.arc_loads.iter().zip(&sparse.arc_loads) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // Each kind now hits its own entry.
+        assert!(engine.realize().is_ok());
+        engine.set_factor_kind(FactorKind::Dense);
+        assert!(engine.realize().is_ok());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

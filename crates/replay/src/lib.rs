@@ -34,7 +34,7 @@ pub mod inject;
 pub mod report;
 pub mod trace;
 
-pub use engine::{CacheStats, DegradeStats, ReplayEngine};
+pub use engine::{CacheStats, DegradeStats, FactorKind, ReplayEngine};
 pub use inject::FaultInjector;
 pub use report::{
     replay_batch, replay_trace, EventStage, LatencyHistogram, ReplayOptions, ReplayReport,
