@@ -20,6 +20,7 @@ const LIB_SRC: &[&str] = &[
     "crates/lp/src/",
     "crates/core/src/",
     "crates/replay/src/",
+    "crates/serve/src/",
     "crates/audit/src/",
 ];
 
@@ -33,6 +34,8 @@ const DETERMINISTIC_SRC: &[&str] = &[
     "crates/replay/src/engine.rs",
     "crates/replay/src/report.rs",
     "crates/replay/src/inject.rs",
+    "crates/replay/src/shared.rs",
+    "crates/serve/src/",
 ];
 
 /// The module allowed to spell raw float comparisons: everything else

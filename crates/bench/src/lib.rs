@@ -875,7 +875,8 @@ pub fn dual_vs_cuts(scale: &Scale) -> Vec<(String, f64, f64, f64, f64)> {
                 &fm,
                 pcf_core::Objective::DemandScale,
                 &Default::default(),
-            );
+            )
+            .expect("dual PCF-TF LP solves on zoo instances");
             let t_dual = t0.elapsed().as_secs_f64();
             (w.topo.name().to_string(), cut, dual, t_cut, t_dual)
         })

@@ -7,6 +7,7 @@
 //! pcf replay   --topology Sprint --f 2 --events 1000      # stream link churn
 //! pcf augment  --topology IBM --f 1 --target 1.2          # capacity to reach z*
 //! pcf topology --topology Deltacom                        # inspect a topology
+//! pcf serve    --topology Abilene --scheme ffc --port 0   # online serving daemon
 //! pcf audit                                               # static analysis gate
 //! ```
 //!
@@ -51,6 +52,9 @@ const FLAGS: &[&str] = &[
     "pricing",
     "refactor-every",
     "engine",
+    "host",
+    "port",
+    "drive",
 ];
 
 const SWITCHES: &[&str] = &["fail-fast"];
@@ -82,6 +86,8 @@ fn usage() {
          \x20 replay    solve, then stream link up/down events through the plan\n\
          \x20 augment   cheapest capacity additions to reach --target demand scale\n\
          \x20 topology  print a topology summary\n\
+         \x20 serve     solve, then serve the plan over TCP (line-delimited JSON;\n\
+         \x20           events, realization/utilization queries, admission control)\n\
          \x20 audit     run the in-tree static-analysis gate (see DESIGN.md §9)\n\
          \n\
          flags:\n\
@@ -112,6 +118,10 @@ fn usage() {
          \x20 --inject <kind>     (replay) adversarial traces instead of flaps:\n\
          \x20                     bursts (beyond-budget) | wobble (capacity) | chaos (both)\n\
          \x20 --fail-fast         (replay) stop each trace at its first violation\n\
+         \x20 --host <ip>         (serve) bind address                     (default 127.0.0.1)\n\
+         \x20 --port <n>          (serve) bind port; 0 picks a free one    (default 7474)\n\
+         \x20 --drive <path>      (serve) run a command script against the server,\n\
+         \x20                     then shut down; exit 1 on protocol violations\n\
          \n\
          exit codes: 0 clean (degraded-but-served events included), 1 violations\n\
          found by validate/replay, 2 usage or input errors"
@@ -314,6 +324,77 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             // events that served nothing — fail the replay.
             if !rep.congestion_free() {
                 std::process::exit(1);
+            }
+            Ok(())
+        }
+        "serve" => {
+            let scheme_flag = args.get("scheme").unwrap_or("pcf-ls");
+            let scheme = pcf_serve::SchemeKind::from_flag(scheme_flag).ok_or(ArgError(format!(
+                "serve: --scheme must be ffc | pcf-tf | pcf-ls | pcf-cls, got {scheme_flag:?}"
+            )))?;
+            let degrade = match args.get("degrade") {
+                None => DegradeMode::Shed,
+                Some(s) => DegradeMode::from_flag(s).ok_or(ArgError(format!(
+                    "--degrade: expected off | rescale | shed, got {s:?}"
+                )))?,
+            };
+            let spec = pcf_serve::PlanSpec {
+                topo: topo.clone(),
+                scheme,
+                tunnels: args.get_or("tunnels", 3usize)?,
+                f: args.get_or("f", 1usize)?,
+                seed: args.get_or("seed", 1u64)?,
+                mlu: args.get_or("mlu", 0.6f64)?,
+                max_pairs: args.get_or("max-pairs", 200usize)?,
+                tol: 1e-6,
+                opts: robust_options(&args)?,
+            };
+            let opts = pcf_serve::ServeOptions {
+                cache_capacity: args.get_or("cache", 1024usize)?,
+                degrade,
+                ..pcf_serve::ServeOptions::default()
+            };
+            let host = args.get("host").unwrap_or("127.0.0.1");
+            let port = args.get_or("port", 7474u16)?;
+            let server = pcf_serve::Server::bind(spec, opts, &format!("{host}:{port}"))?;
+            let addr = server.local_addr()?;
+            println!(
+                "pcf serve: {} on {} (f={}), listening on {addr}",
+                scheme.as_flag(),
+                topo.name(),
+                args.get_or("f", 1usize)?
+            );
+            match args.get("drive") {
+                None => server.run()?,
+                Some(path) => {
+                    let script = std::fs::read_to_string(path)?;
+                    let drive = std::thread::scope(|s| {
+                        let daemon = s.spawn(|| server.run());
+                        let drive = pcf_serve::run_script(&addr.to_string(), &script);
+                        server.request_shutdown();
+                        let _ = daemon.join();
+                        drive
+                    })?;
+                    let rep = server.report();
+                    println!(
+                        "  drive: {} command(s), {} violation(s)",
+                        drive.commands, drive.violations
+                    );
+                    if let Some(path) = args.get("json") {
+                        std::fs::write(path, rep.to_json())?;
+                        println!("  report written to {path}");
+                    }
+                    if let Some(path) = args.get("djson") {
+                        std::fs::write(path, rep.deterministic_json())?;
+                        println!("  deterministic report written to {path}");
+                    }
+                    if !drive.clean() {
+                        for (req, resp) in drive.transcript.iter().take(50) {
+                            println!("  {req} => {resp}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
             }
             Ok(())
         }

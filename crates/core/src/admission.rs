@@ -1,0 +1,469 @@
+//! Admission control from a standing robust plan (no re-solve).
+//!
+//! A converged [`crate::robust::RobustSolution`] carries, per pair, the
+//! inner adversary's optimum over the relaxed failure polytope
+//! ([`crate::robust::RobustSolution::worst_available`]). Because the
+//! relaxed polytope contains every integral scenario, that value
+//! *lower-bounds* the true worst-case availability — so
+//!
+//! ```text
+//! served[p] + d  <=  worst_available[p]
+//! ```
+//!
+//! is a sufficient condition for "demand `d` can be added between the
+//! pair's endpoints and every modeled failure scenario still realizes
+//! congestion-free" (Proposition 5 turns the per-pair constraint into
+//! joint feasibility, and no other pair's constraint mentions `served[p]`).
+//! That is the O(1) fast path of [`admit`].
+//!
+//! When the fast path rejects, the relaxation may simply be conservative.
+//! [`integral_worst_case`] settles it exactly: only links that appear in
+//! the pair's tunnels or in the activation conditions of its `L(p)`/`Q(p)`
+//! sequences can move the pair's availability, so enumerating ≤f-subsets
+//! of that *candidate* set visits the true integral minimum — and the
+//! minimizing subset is a concrete witnessing scenario for a rejection.
+
+use crate::failure::{Condition, FailureModel};
+use crate::instance::{Instance, PairId};
+use pcf_topology::LinkId;
+use std::collections::BTreeSet;
+
+/// Exact (integral) worst case of one pair's availability, with the
+/// scenario that attains it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioWorstCase {
+    /// Minimum availability over the enumerated scenarios.
+    pub available: f64,
+    /// The links dead in the minimizing scenario (empty = no failure).
+    pub witness: Vec<LinkId>,
+    /// Scenarios evaluated to find the minimum.
+    pub evaluated: usize,
+}
+
+/// The decision of [`admit`], with enough context to explain it on a wire
+/// protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitOutcome {
+    /// The extra demand survives every modeled scenario.
+    Admitted {
+        /// Availability slack beyond the pair's current served demand.
+        headroom: f64,
+        /// True when the O(1) relaxed bound already sufficed; false when
+        /// the exact enumeration had to overrule a conservative relaxation.
+        relaxed: bool,
+    },
+    /// Some scenario cannot carry the extra demand.
+    Rejected {
+        /// The binding worst-case availability (integral when a witness is
+        /// present, the relaxed bound otherwise).
+        worst_available: f64,
+        /// A concrete ≤f scenario that violates the requested demand, when
+        /// the enumeration stayed within its evaluation budget.
+        witness: Option<Vec<LinkId>>,
+    },
+}
+
+impl AdmitOutcome {
+    /// True for [`AdmitOutcome::Admitted`].
+    pub fn admitted(&self) -> bool {
+        matches!(self, AdmitOutcome::Admitted { .. })
+    }
+}
+
+/// The links whose liveness can change this pair's availability: links on
+/// its tunnels plus links referenced by the activation conditions of its
+/// `L(p)` and `Q(p)` logical sequences. Failures outside this set leave
+/// the availability formula untouched.
+pub fn candidate_links(inst: &Instance, p: PairId) -> Vec<LinkId> {
+    let mut set: BTreeSet<LinkId> = BTreeSet::new();
+    for &l in inst.tunnels_of(p) {
+        set.extend(inst.tunnel(l).links.iter().copied());
+    }
+    for &q in inst.lss_of(p).iter().chain(inst.segments_of(p)) {
+        match &inst.ls(q).condition {
+            Condition::Always => {}
+            Condition::LinkDead(e) => {
+                set.insert(*e);
+            }
+            Condition::AliveDead { alive, dead } => {
+                set.extend(alive.iter().copied());
+                set.extend(dead.iter().copied());
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Availability of pair `p` under a concrete dead-link mask — the left
+/// side of scenario constraint (1):
+/// `Σ_l a_l·alive_l + Σ_{q∈L(p)} b_q·h_q − Σ_{q'∈Q(p)} b_{q'}·h_{q'}`.
+pub fn availability_under(
+    inst: &Instance,
+    p: PairId,
+    a: &[f64],
+    b: &[f64],
+    dead_mask: &[bool],
+) -> f64 {
+    let mut avail = 0.0;
+    for &l in inst.tunnels_of(p) {
+        if inst.tunnel(l).links.iter().all(|e| !dead_mask[e.index()]) {
+            avail += a[l.0];
+        }
+    }
+    for &q in inst.lss_of(p) {
+        if inst.ls(q).condition.holds(dead_mask) {
+            avail += b[q.0];
+        }
+    }
+    for &q in inst.segments_of(p) {
+        if inst.ls(q).condition.holds(dead_mask) {
+            avail -= b[q.0];
+        }
+    }
+    avail
+}
+
+/// Exact integral worst-case availability of pair `p` under `fm`, by
+/// enumerating failure subsets of the pair's [`candidate_links`] (sizes
+/// `0..=f`; for group models, subsets of the groups that intersect the
+/// candidates; for explicit lists, the listed scenarios). Returns `None`
+/// when more than `max_evals` scenario evaluations would be needed —
+/// callers then fall back to the relaxed bound.
+///
+/// Sub-budget cardinalities are enumerated too: conditional LSs make
+/// availability non-monotone in the failure set (an extra failure can
+/// *activate* a protection sequence), so the minimum need not sit at
+/// cardinality exactly `f`.
+pub fn integral_worst_case(
+    inst: &Instance,
+    p: PairId,
+    fm: &FailureModel,
+    a: &[f64],
+    b: &[f64],
+    max_evals: usize,
+) -> Option<ScenarioWorstCase> {
+    let links = inst.topo().link_count();
+    let mut mask = vec![false; links];
+    let mut evaluated = 0usize;
+    // Seed with the no-failure scenario (always admissible as a scenario).
+    let mut best = ScenarioWorstCase {
+        available: availability_under(inst, p, a, b, &mask),
+        witness: Vec::new(),
+        evaluated: 0,
+    };
+    // The failure units the budget ranges over: single candidate links, or
+    // the groups that can kill at least one candidate link.
+    let candidates = candidate_links(inst, p);
+    let units: Vec<Vec<LinkId>> = match fm {
+        FailureModel::Links { .. } => candidates.iter().map(|&l| vec![l]).collect(),
+        FailureModel::Groups { groups, .. } => groups
+            .iter()
+            .filter(|g| g.iter().any(|l| candidates.binary_search(l).is_ok()))
+            .cloned()
+            .collect(),
+        FailureModel::Explicit { scenarios } => {
+            for scenario in scenarios {
+                evaluated += 1;
+                if evaluated > max_evals {
+                    return None;
+                }
+                for l in scenario {
+                    mask[l.index()] = true;
+                }
+                let avail = availability_under(inst, p, a, b, &mask);
+                for l in scenario {
+                    mask[l.index()] = false;
+                }
+                if avail < best.available {
+                    best.available = avail;
+                    best.witness = scenario.clone();
+                }
+            }
+            best.evaluated = evaluated;
+            return Some(best);
+        }
+    };
+
+    let f = fm.budget().min(units.len());
+    // Budgeted check before enumerating: Σ_{k<=f} C(n, k).
+    let mut total: usize = 1;
+    let mut level: usize = 1;
+    for k in 1..=f {
+        level = level.saturating_mul(units.len() - k + 1) / k;
+        total = total.saturating_add(level);
+        if total > max_evals {
+            return None;
+        }
+    }
+
+    let mut idx = Vec::new();
+    for k in 1..=f {
+        idx.clear();
+        idx.extend(0..k);
+        loop {
+            for &i in &idx {
+                for l in &units[i] {
+                    mask[l.index()] = true;
+                }
+            }
+            evaluated += 1;
+            let avail = availability_under(inst, p, a, b, &mask);
+            if avail < best.available {
+                best.available = avail;
+                best.witness = idx
+                    .iter()
+                    .flat_map(|&i| units[i].iter().copied())
+                    .collect::<BTreeSet<LinkId>>()
+                    .into_iter()
+                    .collect();
+            }
+            for &i in &idx {
+                for l in &units[i] {
+                    mask[l.index()] = false;
+                }
+            }
+            if !next_combination(&mut idx, units.len()) {
+                break;
+            }
+        }
+    }
+    best.evaluated = evaluated;
+    Some(best)
+}
+
+/// Advances `idx` to the next lexicographic k-combination of `0..n`;
+/// returns `false` when `idx` already is the last one.
+fn next_combination(idx: &mut [usize], n: usize) -> bool {
+    let k = idx.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if idx[i] < n - (k - i) {
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Decides whether demand `extra` can be added on pair `p` without
+/// violating any modeled scenario, given the pair's currently served
+/// demand and the stored relaxed worst-case availability (the dual value
+/// [`crate::robust::RobustSolution::worst_available`] carries).
+///
+/// Fast path: the relaxed bound admits in O(1). Otherwise the exact
+/// integral enumeration either overrules the (conservative) relaxation or
+/// produces a witnessing scenario for the rejection. `tol_abs` absorbs LP
+/// tolerance noise; `max_evals` bounds the enumeration.
+#[allow(clippy::too_many_arguments)]
+pub fn admit(
+    inst: &Instance,
+    p: PairId,
+    fm: &FailureModel,
+    a: &[f64],
+    b: &[f64],
+    served_p: f64,
+    relaxed_available: f64,
+    extra: f64,
+    tol_abs: f64,
+    max_evals: usize,
+) -> AdmitOutcome {
+    let required = served_p + extra;
+    if required <= relaxed_available + tol_abs {
+        return AdmitOutcome::Admitted {
+            headroom: relaxed_available - served_p,
+            relaxed: true,
+        };
+    }
+    match integral_worst_case(inst, p, fm, a, b, max_evals) {
+        Some(wc) if required <= wc.available + tol_abs => AdmitOutcome::Admitted {
+            headroom: wc.available - served_p,
+            relaxed: false,
+        },
+        Some(wc) => AdmitOutcome::Rejected {
+            worst_available: wc.available,
+            witness: Some(wc.witness),
+        },
+        // Enumeration over budget: fall back to the (safe, conservative)
+        // relaxed verdict, without a concrete witness.
+        None => AdmitOutcome::Rejected {
+            worst_available: relaxed_available,
+            witness: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::robust::{solve_robust, AdversaryKind, RobustOptions};
+    use crate::validate::validate_scenarios;
+    use pcf_topology::{NodeId, Topology};
+
+    fn diamond() -> Topology {
+        let mut t = Topology::new("diamond");
+        let s = t.add_node("s");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let d = t.add_node("t");
+        t.add_link(s, a, 1.0);
+        t.add_link(a, d, 1.0);
+        t.add_link(s, b, 1.0);
+        t.add_link(b, d, 1.0);
+        t
+    }
+
+    #[test]
+    fn integral_worst_case_matches_hand_count() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let p = inst.pair_id(NodeId(0), NodeId(3)).unwrap();
+        // One unit on each 2-hop tunnel; any single failure kills one
+        // tunnel, leaving availability 1.
+        let a = vec![1.0; inst.num_tunnels()];
+        let wc = integral_worst_case(&inst, p, &FailureModel::links(1), &a, &[], 10_000).unwrap();
+        assert!((wc.available - 1.0).abs() < 1e-12, "{wc:?}");
+        assert_eq!(wc.witness.len(), 1);
+        // f=2 can cut both tunnels.
+        let wc2 = integral_worst_case(&inst, p, &FailureModel::links(2), &a, &[], 10_000).unwrap();
+        assert!(wc2.available.abs() < 1e-12, "{wc2:?}");
+        assert_eq!(wc2.witness.len(), 2);
+    }
+
+    #[test]
+    fn relaxed_bound_is_conservative() {
+        // worst_available (relaxed) <= integral worst case, pair by pair.
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(
+            &topo,
+            vec![(NodeId(0), NodeId(3), 1.0), (NodeId(1), NodeId(2), 0.5)],
+        )
+        .tunnels_per_pair(2)
+        .build();
+        let fm = FailureModel::links(1);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        assert_eq!(sol.worst_available.len(), inst.num_pairs());
+        for p in inst.pair_ids() {
+            let wc = integral_worst_case(&inst, p, &fm, &sol.a, &sol.b, 10_000).unwrap();
+            assert!(
+                sol.worst_available[p.0] <= wc.available + 1e-9,
+                "pair {p:?}: relaxed {} > integral {}",
+                sol.worst_available[p.0],
+                wc.available
+            );
+            // And the plan it certifies really serves the demand.
+            assert!(sol.worst_available[p.0] >= sol.z[p.0] * inst.demand(p) - 1e-6);
+        }
+    }
+
+    #[test]
+    fn admitted_demand_validates_and_rejection_carries_witness() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(1);
+        let sol = solve_robust(
+            &inst,
+            &fm,
+            AdversaryKind::LinkBased,
+            &RobustOptions::default(),
+        );
+        let p = inst.pair_id(NodeId(0), NodeId(3)).unwrap();
+        let served = sol.z[p.0] * inst.demand(p);
+        let headroom = sol.worst_available[p.0] - served;
+
+        // Half the headroom must be admitted and validate congestion-free.
+        let extra = 0.5 * headroom;
+        let out = admit(
+            &inst,
+            p,
+            &fm,
+            &sol.a,
+            &sol.b,
+            served,
+            sol.worst_available[p.0],
+            extra,
+            1e-9,
+            10_000,
+        );
+        assert!(out.admitted(), "{out:?}");
+        let bumped = vec![served + extra];
+        let masks = fm.enumerate_scenarios(inst.topo());
+        let report = validate_scenarios(&inst, &sol.a, &sol.b, &bumped, &masks, 1e-6);
+        assert!(report.congestion_free(), "{:?}", report.violations);
+
+        // Far beyond the headroom must be rejected with a witness whose
+        // scenario indeed breaks validation.
+        let out = admit(
+            &inst,
+            p,
+            &fm,
+            &sol.a,
+            &sol.b,
+            served,
+            sol.worst_available[p.0],
+            headroom + 0.5,
+            1e-9,
+            10_000,
+        );
+        let AdmitOutcome::Rejected {
+            witness: Some(witness),
+            worst_available,
+        } = out
+        else {
+            panic!("expected witnessed rejection, got {out:?}");
+        };
+        assert!(served + headroom + 0.5 > worst_available);
+        let mut mask = vec![false; inst.topo().link_count()];
+        for l in &witness {
+            mask[l.index()] = true;
+        }
+        let overloaded = vec![served + headroom + 0.5];
+        let report = validate_scenarios(&inst, &sol.a, &sol.b, &overloaded, &[mask], 1e-6);
+        assert!(
+            !report.congestion_free(),
+            "witness scenario {witness:?} did not violate"
+        );
+    }
+
+    #[test]
+    fn group_model_enumerates_group_subsets() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let p = inst.pair_id(NodeId(0), NodeId(3)).unwrap();
+        let a = vec![1.0; inst.num_tunnels()];
+        // One SRLG holding both first-hop links: a single group failure
+        // kills both tunnels.
+        let fm = FailureModel::Groups {
+            groups: vec![vec![pcf_topology::LinkId(0), pcf_topology::LinkId(2)]],
+            f: 1,
+        };
+        let wc = integral_worst_case(&inst, p, &fm, &a, &[], 10_000).unwrap();
+        assert!(wc.available.abs() < 1e-12, "{wc:?}");
+        assert_eq!(wc.witness.len(), 2);
+    }
+
+    #[test]
+    fn evaluation_budget_falls_back_to_none() {
+        let topo = pcf_topology::zoo::build("Abilene");
+        let tm = pcf_traffic::gravity(&topo, 5);
+        let inst = crate::schemes::tunnel_instance(&topo, &tm, 3);
+        let p = PairId(0);
+        let a = vec![0.1; inst.num_tunnels()];
+        assert!(integral_worst_case(&inst, p, &FailureModel::links(3), &a, &[], 2).is_none());
+    }
+}

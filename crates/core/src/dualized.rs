@@ -14,6 +14,46 @@ use crate::failure::FailureModel;
 use crate::instance::Instance;
 use crate::objective::Objective;
 use pcf_lp::{is_zero, LpProblem, Sense, SimplexOptions, Status, VarId};
+use std::fmt;
+
+/// Structured failure from the dualized formulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DualizedError {
+    /// The instance has logical sequences, but the dualized models cover
+    /// only the pure tunnel schemes (FFC, PCF-TF).
+    NotPureTunnels {
+        /// Logical sequences the instance carries.
+        lss: usize,
+    },
+    /// The failure model is not a plain `FailureModel::Links` budget — the
+    /// only uncertainty set the appendix dualizes.
+    UnsupportedFailureModel,
+    /// The LP layer rejected the dual program structurally.
+    Lp(pcf_lp::SolveError),
+    /// The dual LP terminated without optimality (it is bounded and
+    /// feasible by construction, so this signals a numerical breakdown).
+    NotOptimal(Status),
+}
+
+impl fmt::Display for DualizedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DualizedError::NotPureTunnels { lss } => {
+                write!(
+                    f,
+                    "dualized models need a pure tunnel instance ({lss} LSs present)"
+                )
+            }
+            DualizedError::UnsupportedFailureModel => {
+                write!(f, "dualized models support plain link budgets only")
+            }
+            DualizedError::Lp(e) => write!(f, "dual LP rejected: {e}"),
+            DualizedError::NotOptimal(s) => write!(f, "dual LP ended {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DualizedError {}
 
 /// Solves the dualized FFC model: for each pair, the worst case over
 /// `Σ_l y_l <= f p_st, 0 <= y <= 1` is dualized with multipliers
@@ -28,10 +68,14 @@ pub fn solve_ffc_dual(
     fm: &FailureModel,
     objective: Objective,
     lp_opts: &SimplexOptions,
-) -> f64 {
-    assert_eq!(inst.num_lss(), 0, "FFC is a pure tunnel scheme");
+) -> Result<f64, DualizedError> {
+    if inst.num_lss() != 0 {
+        return Err(DualizedError::NotPureTunnels {
+            lss: inst.num_lss(),
+        });
+    }
     let FailureModel::Links { f } = fm else {
-        panic!("dualized FFC supports plain link budgets")
+        return Err(DualizedError::UnsupportedFailureModel);
     };
     let topo = inst.topo();
     let mut lp = LpProblem::new(Sense::Maximize);
@@ -78,9 +122,11 @@ pub fn solve_ffc_dual(
         }
         lp.add_ge(row, 0.0);
     }
-    let sol = lp.solve().expect("dual FFC LP is structurally valid");
-    assert_eq!(sol.status, Status::Optimal, "dual FFC LP: {}", sol.status);
-    sol.objective
+    let sol = lp.solve().map_err(DualizedError::Lp)?;
+    if sol.status != Status::Optimal {
+        return Err(DualizedError::NotOptimal(sol.status));
+    }
+    Ok(sol.objective)
 }
 
 /// Solves the dualized PCF-TF model — appendix (D2) verbatim:
@@ -95,10 +141,14 @@ pub fn solve_pcf_tf_dual(
     fm: &FailureModel,
     objective: Objective,
     lp_opts: &SimplexOptions,
-) -> f64 {
-    assert_eq!(inst.num_lss(), 0, "PCF-TF is a pure tunnel scheme");
+) -> Result<f64, DualizedError> {
+    if inst.num_lss() != 0 {
+        return Err(DualizedError::NotPureTunnels {
+            lss: inst.num_lss(),
+        });
+    }
     let FailureModel::Links { f } = fm else {
-        panic!("dualized PCF-TF supports plain link budgets")
+        return Err(DualizedError::UnsupportedFailureModel);
     };
     let topo = inst.topo();
     let mut lp = LpProblem::new(Sense::Maximize);
@@ -171,14 +221,11 @@ pub fn solve_pcf_tf_dual(
         }
         lp.add_ge(row, 0.0);
     }
-    let sol = lp.solve().expect("dual PCF-TF LP is structurally valid");
-    assert_eq!(
-        sol.status,
-        Status::Optimal,
-        "dual PCF-TF LP: {}",
-        sol.status
-    );
-    sol.objective
+    let sol = lp.solve().map_err(DualizedError::Lp)?;
+    if sol.status != Status::Optimal {
+        return Err(DualizedError::NotOptimal(sol.status));
+    }
+    Ok(sol.objective)
 }
 
 #[cfg(test)]
@@ -197,7 +244,8 @@ mod tests {
             for f in [1, 2] {
                 let inst = fig1_instance(k);
                 let fm = FailureModel::links(f);
-                let dual = solve_ffc_dual(&inst, &fm, Objective::DemandScale, &Default::default());
+                let dual = solve_ffc_dual(&inst, &fm, Objective::DemandScale, &Default::default())
+                    .unwrap();
                 let cut = cp(&inst, &fm, AdversaryKind::FfcTunnelCount);
                 assert!(
                     (dual - cut).abs() < 1e-5,
@@ -217,7 +265,8 @@ mod tests {
         ];
         for (inst, f) in cases {
             let fm = FailureModel::links(f);
-            let dual = solve_pcf_tf_dual(&inst, &fm, Objective::DemandScale, &Default::default());
+            let dual =
+                solve_pcf_tf_dual(&inst, &fm, Objective::DemandScale, &Default::default()).unwrap();
             let cut = cp(&inst, &fm, AdversaryKind::LinkBased);
             assert!(
                 (dual - cut).abs() < 1e-5,
@@ -227,18 +276,47 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_inputs_are_structured_errors() {
+        let inst = fig1_instance(3);
+        // A group budget is outside the dualized models' scope.
+        let srlg = FailureModel::Groups {
+            groups: vec![vec![pcf_topology::LinkId(0)]],
+            f: 1,
+        };
+        for res in [
+            solve_ffc_dual(&inst, &srlg, Objective::DemandScale, &Default::default()),
+            solve_pcf_tf_dual(&inst, &srlg, Objective::DemandScale, &Default::default()),
+        ] {
+            assert_eq!(res.unwrap_err(), DualizedError::UnsupportedFailureModel);
+        }
+        // An instance with logical sequences is rejected, not asserted on.
+        let ls_inst = crate::figures::fig4_ls_instance(3, 2, 3);
+        let err = solve_pcf_tf_dual(
+            &ls_inst,
+            &FailureModel::links(1),
+            Objective::DemandScale,
+            &Default::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DualizedError::NotPureTunnels { lss } if lss > 0));
+        assert!(err.to_string().contains("pure tunnel"));
+    }
+
+    #[test]
     fn duals_match_on_zoo_gravity() {
         let topo = pcf_topology::zoo::build("Sprint");
         let tm = pcf_traffic::gravity(&topo, 9);
         let inst = crate::schemes::tunnel_instance(&topo, &tm, 3);
         let fm = FailureModel::links(1);
-        let dual = solve_pcf_tf_dual(&inst, &fm, Objective::DemandScale, &Default::default());
+        let dual =
+            solve_pcf_tf_dual(&inst, &fm, Objective::DemandScale, &Default::default()).unwrap();
         let cut = cp(&inst, &fm, AdversaryKind::LinkBased);
         assert!(
             (dual - cut).abs() < 1e-4 * (1.0 + cut),
             "dual {dual} vs cuts {cut}"
         );
-        let fdual = solve_ffc_dual(&inst, &fm, Objective::DemandScale, &Default::default());
+        let fdual =
+            solve_ffc_dual(&inst, &fm, Objective::DemandScale, &Default::default()).unwrap();
         let fcut = cp(&inst, &fm, AdversaryKind::FfcTunnelCount);
         assert!(
             (fdual - fcut).abs() < 1e-4 * (1.0 + fcut),

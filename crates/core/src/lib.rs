@@ -5,6 +5,7 @@
 //! failure scenario, for FFC, PCF-TF, PCF-LS, PCF-CLS, logical flows, R3,
 //! and the optimal (intrinsic capability) baseline.
 
+pub mod admission;
 pub mod adversary;
 pub mod augment;
 pub mod degrade;
@@ -22,11 +23,16 @@ pub mod scale;
 pub mod schemes;
 pub mod validate;
 
+pub use admission::{
+    admit, availability_under, candidate_links, integral_worst_case, AdmitOutcome,
+    ScenarioWorstCase,
+};
 pub use augment::{augment_capacity, Augmentation};
 pub use degrade::{
     degrade_fallback, degrade_routing, normal_routing, overload_bound, peak_utilization,
     DegradeMode, DegradedRouting, LadderStage,
 };
+pub use dualized::DualizedError;
 pub use failure::{Condition, FailureModel};
 pub use instance::{Instance, InstanceBuilder, LogicalSequence, LsId, PairId, TunnelId};
 pub use logical_flow::{

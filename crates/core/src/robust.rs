@@ -141,6 +141,15 @@ pub struct RobustSolution {
     /// Master re-solves answered by warm-starting the retained basis
     /// (always 0 when [`RobustOptions::warm_start`] is off).
     pub warm_rounds: usize,
+    /// Per-pair worst-case availability of the final reservations over the
+    /// relaxed failure polytope — the inner adversary's optimum, i.e. the
+    /// value the dualized inner problem certifies. At convergence
+    /// `worst_available[p] >= z[p] * demand(p) - tol`, and the slack
+    /// `worst_available[p] - z[p] * demand(p)` is the admission headroom:
+    /// extra demand a pair can absorb under *every* modeled scenario
+    /// without re-solving (the relaxation lower-bounds the integral worst
+    /// case, so admitting against it is conservative-safe).
+    pub worst_available: Vec<f64>,
 }
 
 /// One generated scenario cut for a pair: the fractional failure levels to
@@ -255,6 +264,10 @@ pub fn try_solve_robust(
         }
 
         if rounds > opts.max_rounds {
+            // One extra separation pass prices the incumbent so the
+            // solution still carries its worst-case availabilities (the
+            // round limit is a rare escape hatch, not the steady state).
+            let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads());
             return Ok(RobustSolution {
                 objective,
                 z,
@@ -263,12 +276,14 @@ pub fn try_solve_robust(
                 rounds: rounds - 1,
                 cuts: cuts.len(),
                 warm_rounds,
+                worst_available: wcs.iter().map(|wc| wc.available).collect(),
             });
         }
 
         // Separation: every pair's oracle is independent, so fan the pairs
         // out over worker threads.
         let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads());
+        let worst_available: Vec<f64> = wcs.iter().map(|wc| wc.available).collect();
         let scale = 1.0 + inst.total_demand();
         let mut violated = 0usize;
         for (p, wc) in inst.pair_ids().zip(wcs) {
@@ -289,6 +304,7 @@ pub fn try_solve_robust(
                 rounds,
                 cuts: cuts.len(),
                 warm_rounds,
+                worst_available,
             });
         }
     }

@@ -123,14 +123,14 @@ impl DegradeStats {
 /// pair order and the LU factors of its reservation matrix (`None` when
 /// there are no pairs of interest), or the structural error realization
 /// hit.
-enum Solved {
+pub(crate) enum Solved {
     Empty,
     Factored { pairs: Vec<PairId>, lu: Factors },
 }
 
 /// A kind-tagged factorization. Solves are bit-identical across variants;
 /// the tag exists so cache bookkeeping can never mix backends.
-enum Factors {
+pub(crate) enum Factors {
     Dense(LuFactors),
     Sparse(SparseLu),
 }
@@ -144,7 +144,69 @@ impl Factors {
     }
 }
 
-type CacheEntry = Result<Solved, RealizeError>;
+pub(crate) type CacheEntry = Result<Solved, RealizeError>;
+
+/// The expensive half of a realization: live-pair selection plus the LU
+/// factorization of the reservation matrix, as one cacheable value.
+///
+/// Depends on the failure state only through its liveness signature, so
+/// the result can be keyed by `[kind] ++ signature` and shared across any
+/// engines holding the same plan — the contract both [`FactorCache`] and
+/// [`crate::SharedFactorCache`] rely on.
+pub(crate) fn compute_entry(
+    inst: &Instance,
+    state: &FailureState,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    tol: f64,
+    kind: FactorKind,
+) -> CacheEntry {
+    let tol_abs = absolute_tolerance(served, tol);
+    let pairs = live_pairs(inst, state, a, b, served, tol_abs)?;
+    if pairs.is_empty() {
+        return Ok(Solved::Empty);
+    }
+    let m = reservation_matrix(inst, state, a, b, &pairs);
+    let lu = match kind {
+        FactorKind::Dense => lu_factor(&m)
+            .map(Factors::Dense)
+            .map_err(|_| RealizeError::SingularMatrix)?,
+        FactorKind::Sparse => SparseLu::factor_dense_compat(&m)
+            .map(Factors::Sparse)
+            .map_err(|_| RealizeError::SingularMatrix)?,
+    };
+    Ok(Solved::Factored { pairs, lu })
+}
+
+/// The cheap half of a realization: the O(n²) triangular solve, range
+/// check, and routing expansion from a (possibly cached) entry. Together
+/// with [`compute_entry`] this is exactly what [`realize_routing`] does,
+/// so cached, shared, and cold results are bit-identical.
+pub(crate) fn routing_from_entry(
+    entry: &CacheEntry,
+    inst: &Instance,
+    state: &FailureState,
+    a: &[f64],
+    served: &[f64],
+    tol: f64,
+) -> Result<Routing, RealizeError> {
+    match entry {
+        Err(e) => Err(e.clone()),
+        Ok(Solved::Empty) => Ok(Routing {
+            pairs: Vec::new(),
+            u: Vec::new(),
+            tunnel_flow: vec![0.0; inst.num_tunnels()],
+            arc_loads: vec![0.0; inst.topo().arc_count()],
+        }),
+        Ok(Solved::Factored { pairs, lu }) => {
+            let d: Vec<f64> = pairs.iter().map(|&p| served[p.0]).collect();
+            let u = lu.solve(&d);
+            let u = check_utilizations(pairs, u, tol)?;
+            Ok(expand_routing(inst, state, a, pairs, &u))
+        }
+    }
+}
 
 /// Insertion-order (FIFO) bounded map from liveness signature to solve
 /// state.
@@ -195,6 +257,17 @@ impl FactorCache {
     }
 }
 
+/// Where an engine keeps (or doesn't keep) its factorizations.
+enum CacheBackend<'a> {
+    /// No cache: every realization factors from scratch.
+    Cold,
+    /// An engine-private FIFO cache (the default).
+    Private(FactorCache),
+    /// A [`crate::SharedFactorCache`] owned elsewhere and shared with
+    /// other engines over the same plan.
+    Shared(&'a crate::SharedFactorCache),
+}
+
 /// A streaming failure-replay engine over one solved allocation.
 ///
 /// Borrows the instance and the plan (`a`, `b`, `served`); owns the
@@ -218,7 +291,7 @@ pub struct ReplayEngine<'a> {
     // Link -> affected entities, precomputed once.
     tunnels_on_link: Vec<Vec<TunnelId>>,
     lss_on_link: Vec<Vec<LsId>>,
-    cache: Option<FactorCache>,
+    cache: CacheBackend<'a>,
     cold_stats: CacheStats,
     // Nominal per-link capacities and the ones currently in effect
     // (wobble events scale entries of `caps`).
@@ -280,7 +353,11 @@ impl<'a> ReplayEngine<'a> {
             tunnel_dead_links: vec![0; inst.num_tunnels()],
             tunnels_on_link,
             lss_on_link,
-            cache: (cache_capacity > 0).then(|| FactorCache::new(cache_capacity)),
+            cache: if cache_capacity > 0 {
+                CacheBackend::Private(FactorCache::new(cache_capacity))
+            } else {
+                CacheBackend::Cold
+            },
             cold_stats: CacheStats::default(),
             nominal_caps: inst
                 .topo()
@@ -297,6 +374,28 @@ impl<'a> ReplayEngine<'a> {
             factor_kind: FactorKind::default(),
             force_singular: false,
         }
+    }
+
+    /// Builds an engine whose factorizations live in `cache`, a
+    /// [`crate::SharedFactorCache`] that other engines over the *same
+    /// plan* (same `inst`, `a`, `b`, `served`, `tol`) may share.
+    ///
+    /// Cache entries are pure functions of the plan, the factor kind, and
+    /// the liveness signature, so sharing across plans is unsound —
+    /// callers keep one shared cache per plan (the serve layer keys one
+    /// per plan epoch). Hit/miss counters live in the shared cache and
+    /// aggregate over every engine attached to it.
+    pub fn with_shared_cache(
+        inst: &'a Instance,
+        a: &'a [f64],
+        b: &'a [f64],
+        served: &'a [f64],
+        tol: f64,
+        cache: &'a crate::SharedFactorCache,
+    ) -> Self {
+        let mut engine = ReplayEngine::new(inst, a, b, served, tol, 0);
+        engine.cache = CacheBackend::Shared(cache);
+        engine
     }
 
     /// Selects the factorization backend (default: [`FactorKind::Sparse`]).
@@ -411,53 +510,36 @@ impl<'a> ReplayEngine<'a> {
             return Err(RealizeError::SingularMatrix);
         }
         let state = &self.fs;
-        let Some(cache) = self.cache.as_mut() else {
-            let res = realize_routing(self.inst, state, self.a, self.b, self.served, self.tol);
-            if res.is_err() {
-                self.cold_stats.errors += 1;
-            } else {
-                self.cold_stats.misses += 1;
-            }
-            return res;
-        };
         let (inst, a, b, served, tol) = (self.inst, self.a, self.b, self.served, self.tol);
         let kind = self.factor_kind;
-        // The cache key leads with the factor kind: a dense-era entry must
-        // never answer for the sparse backend (or vice versa), even though
-        // their liveness signatures match.
-        let mut key = Vec::with_capacity(self.sig.len() + 1);
-        key.push(kind as u64);
-        key.extend_from_slice(&self.sig);
-        let entry = cache.lookup_or_insert(key, || {
-            let tol_abs = absolute_tolerance(served, tol);
-            let pairs = live_pairs(inst, state, a, b, served, tol_abs)?;
-            if pairs.is_empty() {
-                return Ok(Solved::Empty);
+        match &mut self.cache {
+            CacheBackend::Cold => {
+                let res = realize_routing(inst, state, a, b, served, tol);
+                if res.is_err() {
+                    self.cold_stats.errors += 1;
+                } else {
+                    self.cold_stats.misses += 1;
+                }
+                res
             }
-            let m = reservation_matrix(inst, state, a, b, &pairs);
-            let lu = match kind {
-                FactorKind::Dense => lu_factor(&m)
-                    .map(Factors::Dense)
-                    .map_err(|_| RealizeError::SingularMatrix)?,
-                FactorKind::Sparse => SparseLu::factor_dense_compat(&m)
-                    .map(Factors::Sparse)
-                    .map_err(|_| RealizeError::SingularMatrix)?,
-            };
-            Ok(Solved::Factored { pairs, lu })
-        });
-        match entry {
-            Err(e) => Err(e.clone()),
-            Ok(Solved::Empty) => Ok(Routing {
-                pairs: Vec::new(),
-                u: Vec::new(),
-                tunnel_flow: vec![0.0; inst.num_tunnels()],
-                arc_loads: vec![0.0; inst.topo().arc_count()],
-            }),
-            Ok(Solved::Factored { pairs, lu }) => {
-                let d: Vec<f64> = pairs.iter().map(|&p| served[p.0]).collect();
-                let u = lu.solve(&d);
-                let u = check_utilizations(pairs, u, tol)?;
-                Ok(expand_routing(inst, state, a, pairs, &u))
+            CacheBackend::Private(cache) => {
+                // The cache key leads with the factor kind: a dense-era
+                // entry must never answer for the sparse backend (or vice
+                // versa), even though their liveness signatures match.
+                let mut key = Vec::with_capacity(self.sig.len() + 1);
+                key.push(kind as u64);
+                key.extend_from_slice(&self.sig);
+                let entry = cache
+                    .lookup_or_insert(key, || compute_entry(inst, state, a, b, served, tol, kind));
+                routing_from_entry(entry, inst, state, a, served, tol)
+            }
+            CacheBackend::Shared(shared) => {
+                let mut key = Vec::with_capacity(self.sig.len() + 1);
+                key.push(kind as u64);
+                key.extend_from_slice(&self.sig);
+                let entry = shared
+                    .lookup_or_insert(&key, || compute_entry(inst, state, a, b, served, tol, kind));
+                routing_from_entry(&entry, inst, state, a, served, tol)
             }
         }
     }
@@ -519,17 +601,23 @@ impl<'a> ReplayEngine<'a> {
     }
 
     /// Cache counters so far (in cold mode: every successful realization
-    /// is a miss).
+    /// is a miss; in shared mode: a snapshot of the shared cache's
+    /// counters, aggregated over every engine attached to it).
     pub fn cache_stats(&self) -> CacheStats {
         match &self.cache {
-            Some(c) => c.stats,
-            None => self.cold_stats,
+            CacheBackend::Private(c) => c.stats,
+            CacheBackend::Shared(s) => s.stats(),
+            CacheBackend::Cold => self.cold_stats,
         }
     }
 
     /// Number of factorizations currently retained.
     pub fn cached_entries(&self) -> usize {
-        self.cache.as_ref().map_or(0, |c| c.entries.len())
+        match &self.cache {
+            CacheBackend::Private(c) => c.entries.len(),
+            CacheBackend::Shared(s) => s.len(),
+            CacheBackend::Cold => 0,
+        }
     }
 }
 

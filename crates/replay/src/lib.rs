@@ -32,6 +32,7 @@
 pub mod engine;
 pub mod inject;
 pub mod report;
+pub mod shared;
 pub mod trace;
 
 pub use engine::{CacheStats, DegradeStats, FactorKind, ReplayEngine};
@@ -40,4 +41,5 @@ pub use report::{
     replay_batch, replay_trace, EventStage, LatencyHistogram, ReplayOptions, ReplayReport,
     ReplayViolation,
 };
+pub use shared::SharedFactorCache;
 pub use trace::{EventKind, EventTrace, LinkEvent, TraceParseError};

@@ -1,0 +1,270 @@
+//! `pcf-serve`: an online serving daemon for solved PCF plans.
+//!
+//! The offline pipeline (`pcf-core`) produces a robust plan — tunnel and
+//! logical-sequence reservations proven to survive every ≤f-link-failure
+//! scenario. This crate keeps that plan *hot*: a std-only TCP daemon
+//! speaks a line-delimited JSON protocol ([`protocol`]) for failure-event
+//! ingestion, realization and utilization queries, admission control
+//! answered from the stored dual bounds, and plan hot-swaps.
+//!
+//! Architecture (one module each):
+//!
+//! * [`plan`] — immutable solved [`PlanEpoch`]s behind the lock-free
+//!   [`PlanCell`] generation/slot cell; the background solver publishes,
+//!   readers poll one atomic.
+//! * [`log`] — the append-only atomic [`EventLog`]; the only shared
+//!   mutable state on the event path.
+//! * [`server`] — the daemon: scoped connection threads with private
+//!   replay engines over the epoch's shared factor cache, a solver
+//!   thread, and flag-plus-poke shutdown.
+//! * [`client`] — a pipelining client and a scripted-session driver.
+//! * [`telemetry`] — wait-free counters/histograms and the
+//!   [`ServeReport`] with its CI-comparable deterministic form.
+//! * [`json`] — the dependency-free JSON used on the wire.
+//!
+//! Everything is safe Rust on `std` alone: no async runtime, no serde,
+//! no external crates.
+
+pub mod client;
+pub mod json;
+pub mod log;
+pub mod plan;
+pub mod protocol;
+pub mod server;
+pub mod telemetry;
+
+pub use client::{run_script, ClientError, ScriptReport, ServeClient};
+pub use json::{Json, JsonError};
+pub use log::{EventLog, LogEvent, LogFull};
+pub use plan::{PlanCell, PlanEpoch, PlanSpec, SchemeKind};
+pub use protocol::{error_response, parse_request, Request};
+pub use server::{ServeOptions, Server};
+pub use telemetry::{AtomicHistogram, ServeReport, Stopwatch, Telemetry};
+
+/// A serving-side failure: transport or plan construction.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, accept).
+    Io(std::io::Error),
+    /// The plan spec could not be solved into an epoch.
+    BadSpec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::BadSpec(what) => write!(f, "bad plan spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcf_core::RobustOptions;
+    use pcf_topology::zoo;
+    use std::thread;
+
+    fn abilene_spec() -> PlanSpec {
+        PlanSpec {
+            topo: zoo::build("Abilene"),
+            scheme: SchemeKind::Ffc,
+            tunnels: 3,
+            f: 1,
+            seed: 1,
+            mlu: 0.0,
+            max_pairs: 40,
+            tol: 1e-6,
+            opts: RobustOptions::default(),
+        }
+    }
+
+    fn boot() -> Server {
+        Server::bind(abilene_spec(), ServeOptions::default(), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn scripted_session_round_trips() {
+        let server = boot();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let script = r#"
+                # basic liveness and plan introspection
+                {"cmd":"ping"}
+                {"cmd":"plan"}
+                {"cmd":"realize"}
+                # fail a link, observe, recover
+                {"cmd":"down","link":0}
+                {"cmd":"realize"}
+                {"cmd":"util","limit":3}
+                {"cmd":"up","link":0}
+                {"cmd":"wobble","link":1,"permille":500}
+                {"cmd":"reset"}
+                {"cmd":"realize"}
+                {"cmd":"stats"}
+                # malformed lines must fail without desyncing the stream
+                ! {"cmd":"warp"}
+                ! {"cmd":"down","link":999999}
+                ! not json at all
+                {"cmd":"ping"}
+                {"cmd":"shutdown"}
+            "#;
+            let report = run_script(&addr, script).unwrap();
+            assert!(report.clean(), "violations: {:?}", report.transcript);
+            assert_eq!(report.commands, 16);
+        });
+    }
+
+    #[test]
+    fn realization_matches_offline_engine() {
+        let server = boot();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut client = ServeClient::connect(&addr).unwrap();
+            let resps = client
+                .request_batch(&[
+                    r#"{"cmd":"down","link":2}"#,
+                    r#"{"cmd":"realize"}"#,
+                    r#"{"cmd":"shutdown"}"#,
+                ])
+                .unwrap();
+            let served_util = resps[1]
+                .get("max_utilization")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert_eq!(resps[1].get("stage").and_then(Json::as_str), Some("normal"));
+
+            // The same failure through an offline engine, bit-for-bit.
+            let epoch = abilene_spec().solve_epoch(1, 1.0, 1, 0).unwrap();
+            let mut engine = pcf_replay::ReplayEngine::new(
+                &epoch.inst,
+                &epoch.a,
+                &epoch.b,
+                &epoch.served,
+                epoch.tol,
+                0,
+            );
+            engine
+                .apply(&pcf_replay::LinkEvent {
+                    link: pcf_topology::LinkId(2),
+                    kind: pcf_replay::EventKind::Down,
+                })
+                .unwrap();
+            let routing = engine.realize().unwrap();
+            let offline = pcf_core::peak_utilization(&epoch.inst, &routing, engine.capacities());
+            assert_eq!(served_util.to_bits(), offline.to_bits());
+        });
+    }
+
+    #[test]
+    fn update_publishes_a_new_generation() {
+        let server = boot();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut client = ServeClient::connect(&addr).unwrap();
+            let first = client.request(r#"{"cmd":"plan"}"#).unwrap();
+            assert_eq!(first.get("gen").and_then(Json::as_u64), Some(1));
+            client.request(r#"{"cmd":"update","scale":0.5}"#).unwrap();
+            let waited = client
+                .request(r#"{"cmd":"wait","gen":2,"timeout_ms":60000}"#)
+                .unwrap();
+            assert_eq!(waited.get("ok").and_then(Json::as_bool), Some(true));
+            let second = client.request(r#"{"cmd":"plan"}"#).unwrap();
+            assert_eq!(second.get("gen").and_then(Json::as_u64), Some(2));
+            // Rescaled demand means a different plan digest.
+            assert_ne!(
+                first.get("plan_digest").and_then(Json::as_str),
+                second.get("plan_digest").and_then(Json::as_str)
+            );
+            // Events and queries still flow on the new epoch.
+            let post = client
+                .request_batch(&[
+                    r#"{"cmd":"down","link":0}"#,
+                    r#"{"cmd":"realize"}"#,
+                    r#"{"cmd":"shutdown"}"#,
+                ])
+                .unwrap();
+            assert_eq!(post[1].get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(post[1].get("gen").and_then(Json::as_u64), Some(2));
+        });
+    }
+
+    #[test]
+    fn admission_answers_by_node_name() {
+        let server = boot();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut client = ServeClient::connect(&addr).unwrap();
+            let plan = client.request(r#"{"cmd":"plan"}"#).unwrap();
+            assert!(plan.get("pairs").and_then(Json::as_u64).unwrap() > 0);
+
+            // Find a served pair via the offline epoch, then query by name.
+            let epoch = abilene_spec().solve_epoch(1, 1.0, 1, 0).unwrap();
+            let p = pcf_core::PairId(0);
+            let (s_node, t_node) = epoch.inst.pair(p);
+            let topo = epoch.inst.topo();
+            let src = topo.node_name(s_node);
+            let dst = topo.node_name(t_node);
+
+            let tiny = client
+                .request(&format!(
+                    r#"{{"cmd":"admit","src":"{src}","dst":"{dst}","demand":0}}"#
+                ))
+                .unwrap();
+            assert_eq!(tiny.get("admitted").and_then(Json::as_bool), Some(true));
+            let huge = client
+                .request(&format!(
+                    r#"{{"cmd":"admit","src":"{src}","dst":"{dst}","demand":1e12}}"#
+                ))
+                .unwrap();
+            assert_eq!(huge.get("admitted").and_then(Json::as_bool), Some(false));
+            let unknown = client
+                .request(r#"{"cmd":"admit","src":"Nowhere","dst":"Noplace","demand":1}"#)
+                .unwrap();
+            assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+            client.request(r#"{"cmd":"shutdown"}"#).unwrap();
+        });
+    }
+
+    #[test]
+    fn stats_deterministic_form_reflects_the_session() {
+        let server = boot();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut client = ServeClient::connect(&addr).unwrap();
+            let resps = client
+                .request_batch(&[
+                    r#"{"cmd":"down","link":0}"#,
+                    r#"{"cmd":"realize"}"#,
+                    r#"{"cmd":"realize"}"#,
+                    r#"{"cmd":"stats"}"#,
+                    r#"{"cmd":"shutdown"}"#,
+                ])
+                .unwrap();
+            let det = resps[3].get("deterministic").unwrap();
+            assert_eq!(det.get("events").and_then(Json::as_u64), Some(1));
+            assert_eq!(det.get("queries").and_then(Json::as_u64), Some(2));
+            assert_eq!(det.get("swaps").and_then(Json::as_u64), Some(0));
+            // Latency and cache counters live only in the full report.
+            assert!(det.get("latency_ns").is_none());
+            assert!(det.get("cache").is_none());
+            let full = resps[3].get("report").unwrap();
+            assert!(full.get("latency_ns").is_some());
+            assert!(full.get("cache").is_some());
+        });
+    }
+}

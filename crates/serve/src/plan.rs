@@ -1,0 +1,334 @@
+//! Solved-plan epochs and the lock-free cell readers load them through.
+//!
+//! A [`PlanEpoch`] is one immutable solved plan — instance, reservations,
+//! served demand, dual worst-case availabilities, and a
+//! [`SharedFactorCache`] scoped to exactly this plan — tagged with a
+//! monotonically increasing generation. The background solver builds a
+//! new epoch on every `update` command and publishes it through
+//! [`PlanCell::swap`]; readers never see a partially built plan because
+//! the whole epoch travels as one `Arc`.
+//!
+//! [`PlanCell`] is the hot-swap primitive. The steady-state read path is
+//! a single `Acquire` load of the generation counter ([`PlanCell::generation`]
+//! against the reader's cached epoch) — no lock, no reference-count
+//! traffic. Only when the generation moved does a reader take the slot
+//! mutex to clone the new `Arc` ([`PlanCell::current`]), which is O(1)
+//! and uncontended outside swap instants. A reader mid-query keeps its
+//! old `Arc` alive, so swaps never invalidate in-flight work: old and
+//! new epochs coexist until the last reader of the old one drops it.
+//!
+//! The alternative designs were measured and rejected: a spin-swap
+//! `ArcCell` serializes readers on a single cache line, and a raw
+//! `AtomicPtr` with epoch-based reclamation needs `unsafe` the rest of
+//! this workspace deliberately avoids. The mutex-slot-plus-generation
+//! design keeps the fast path lock-free in safe Rust and is what the
+//! TSan job exercises.
+
+use crate::ServeError;
+use pcf_core::{
+    pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls, solve_pcf_tf,
+    tunnel_instance, FailureModel, Instance, RobustOptions,
+};
+use pcf_replay::SharedFactorCache;
+use pcf_topology::Topology;
+use pcf_traffic::gravity;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which solver builds the plan (the schemes with a tunnel/LS plan to
+/// serve; R3 is excluded because it has no reservations to realize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// FFC (tunnel model, per-pair failure constraints).
+    Ffc,
+    /// PCF-TF (tunnel model, dualizable adversary).
+    PcfTf,
+    /// PCF-LS (logical sequences).
+    PcfLs,
+    /// PCF-CLS (conditional logical sequences, bypass pipeline).
+    PcfCls,
+}
+
+impl SchemeKind {
+    /// Parses the CLI spelling (`ffc | pcf-tf | pcf-ls | pcf-cls`).
+    pub fn from_flag(s: &str) -> Option<SchemeKind> {
+        match s {
+            "ffc" => Some(SchemeKind::Ffc),
+            "pcf-tf" => Some(SchemeKind::PcfTf),
+            "pcf-ls" => Some(SchemeKind::PcfLs),
+            "pcf-cls" => Some(SchemeKind::PcfCls),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI spelling.
+    pub fn as_flag(self) -> &'static str {
+        match self {
+            SchemeKind::Ffc => "ffc",
+            SchemeKind::PcfTf => "pcf-tf",
+            SchemeKind::PcfLs => "pcf-ls",
+            SchemeKind::PcfCls => "pcf-cls",
+        }
+    }
+}
+
+/// Everything the background solver needs to (re)build a plan: the
+/// topology, the scheme, the traffic recipe, and the robust-engine
+/// options. `update` commands vary the demand scale and gravity seed;
+/// the rest is fixed at server start.
+#[derive(Debug, Clone)]
+pub struct PlanSpec {
+    /// The (already built/pruned) topology to serve.
+    pub topo: Topology,
+    /// Which scheme solves the plan.
+    pub scheme: SchemeKind,
+    /// Tunnels per pair.
+    pub tunnels: usize,
+    /// Simultaneous link failures the plan must survive.
+    pub f: usize,
+    /// Gravity traffic seed (the `update` command may override per epoch).
+    pub seed: u64,
+    /// Optimal-routing MLU target for traffic normalization; `0` skips it.
+    pub mlu: f64,
+    /// Keep only the n heaviest demands.
+    pub max_pairs: usize,
+    /// Relative feasibility tolerance for realization and admission.
+    pub tol: f64,
+    /// Cutting-plane engine options.
+    pub opts: RobustOptions,
+}
+
+/// One immutable solved plan, shared by every reader at its generation.
+pub struct PlanEpoch {
+    /// Generation tag (monotonically increasing across swaps, starts at 1).
+    pub gen: u64,
+    /// The solved instance (tunnels, logical sequences, demands).
+    pub inst: Instance,
+    /// Per-tunnel reservations `a_l`.
+    pub a: Vec<f64>,
+    /// Per-LS reservations `b_q`.
+    pub b: Vec<f64>,
+    /// Served fraction per pair.
+    pub z: Vec<f64>,
+    /// Served demand per pair (`z_p * d_p`), the realization input.
+    pub served: Vec<f64>,
+    /// Per-pair relaxed worst-case availability (the admission fast path).
+    pub worst_available: Vec<f64>,
+    /// The solved objective (guaranteed demand scale).
+    pub objective: f64,
+    /// The failure model the plan defends against (and admission checks).
+    pub fm: FailureModel,
+    /// Relative feasibility tolerance.
+    pub tol: f64,
+    /// Demand scale this epoch was solved at.
+    pub scale: f64,
+    /// Gravity seed this epoch was solved with.
+    pub seed: u64,
+    /// Factorization cache scoped to this plan (readers share it; a swap
+    /// abandons it with the epoch, so caches never mix plans).
+    pub cache: SharedFactorCache,
+    /// FNV-1a digest over the plan's numerical content (reservations,
+    /// served demand, objective) — generation-independent, so identical
+    /// re-solves produce identical digests.
+    pub plan_digest: u64,
+}
+
+impl PlanSpec {
+    /// Solves the spec into a fresh epoch at `gen`, with the demand
+    /// matrix scaled by `scale` and drawn from `seed`.
+    pub fn solve_epoch(
+        &self,
+        gen: u64,
+        scale: f64,
+        seed: u64,
+        cache_capacity: usize,
+    ) -> Result<PlanEpoch, ServeError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ServeError::BadSpec(format!(
+                "demand scale must be positive and finite, got {scale}"
+            )));
+        }
+        let mut tm = gravity(&self.topo, seed);
+        tm.truncate_to_top_k(self.max_pairs);
+        if self.mlu > 0.0 {
+            let (normalized, _) = scale_to_mlu(&self.topo, &tm, self.mlu);
+            tm = normalized;
+        }
+        tm.scale(scale);
+        let fm = FailureModel::links(self.f);
+        let (inst, sol) = match self.scheme {
+            SchemeKind::Ffc => {
+                let inst = tunnel_instance(&self.topo, &tm, self.tunnels);
+                let sol = solve_ffc(&inst, &fm, &self.opts);
+                (inst, sol)
+            }
+            SchemeKind::PcfTf => {
+                let inst = tunnel_instance(&self.topo, &tm, self.tunnels);
+                let sol = solve_pcf_tf(&inst, &fm, &self.opts);
+                (inst, sol)
+            }
+            SchemeKind::PcfLs => {
+                let inst = pcf_ls_instance(&self.topo, &tm, self.tunnels);
+                let sol = solve_pcf_ls(&inst, &fm, &self.opts);
+                (inst, sol)
+            }
+            SchemeKind::PcfCls => {
+                let cls = pcf_cls_pipeline(&self.topo, &tm, self.tunnels, &fm, &self.opts);
+                (cls.instance, cls.solution)
+            }
+        };
+        let served: Vec<f64> = inst
+            .pair_ids()
+            .map(|p| sol.z[p.0] * inst.demand(p))
+            .collect();
+        let plan_digest = plan_digest(sol.objective, &sol.a, &sol.b, &sol.z, &served);
+        Ok(PlanEpoch {
+            gen,
+            inst,
+            a: sol.a,
+            b: sol.b,
+            z: sol.z,
+            served,
+            worst_available: sol.worst_available,
+            objective: sol.objective,
+            fm,
+            tol: self.tol,
+            scale,
+            seed,
+            cache: SharedFactorCache::new(cache_capacity),
+            plan_digest,
+        })
+    }
+}
+
+/// FNV-1a over the exact bit patterns of the plan's numbers. Identical
+/// plans (same topology, traffic, scheme, options) digest identically on
+/// every thread and every run; any numerical divergence shows up even
+/// when rounded summaries agree.
+fn plan_digest(objective: f64, a: &[f64], b: &[f64], z: &[f64], served: &[f64]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: f64| {
+        for byte in x.to_bits().to_le_bytes() {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(objective);
+    for &x in a.iter().chain(b).chain(z).chain(served) {
+        eat(x);
+    }
+    digest
+}
+
+/// The hot-swap cell: a generation counter readers poll lock-free, and a
+/// mutex-guarded slot holding the current epoch `Arc`.
+///
+/// Invariant: `gen` is only stored *after* the slot holds the epoch with
+/// that generation (both under the slot mutex), so a reader that observes
+/// a new generation and then takes the mutex always finds an epoch at
+/// least that new. Readers that observe the old generation keep serving
+/// the old epoch — a consistent, fully solved plan — until their next
+/// check. There is deliberately no moment where a reader can see half a
+/// plan.
+pub struct PlanCell {
+    gen: AtomicU64,
+    slot: Mutex<Arc<PlanEpoch>>,
+}
+
+impl PlanCell {
+    /// Creates the cell holding its first epoch.
+    pub fn new(epoch: Arc<PlanEpoch>) -> PlanCell {
+        PlanCell {
+            gen: AtomicU64::new(epoch.gen),
+            slot: Mutex::new(epoch),
+        }
+    }
+
+    /// The published generation — the lock-free fast path. Readers
+    /// compare this against their cached epoch's `gen` and only touch the
+    /// slot mutex on a mismatch.
+    pub fn generation(&self) -> u64 {
+        self.gen.load(Ordering::Acquire)
+    }
+
+    /// Clones the current epoch `Arc` (takes the slot mutex briefly).
+    pub fn current(&self) -> Arc<PlanEpoch> {
+        Arc::clone(&self.slot.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Publishes a new epoch. The slot is updated before the generation
+    /// becomes visible, so `generation()`/`current()` can never observe a
+    /// generation without its epoch.
+    pub fn swap(&self, epoch: Arc<PlanEpoch>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        let gen = epoch.gen;
+        *slot = epoch;
+        self.gen.store(gen, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcf_topology::zoo;
+
+    fn abilene_spec() -> PlanSpec {
+        PlanSpec {
+            topo: zoo::build("Abilene"),
+            scheme: SchemeKind::Ffc,
+            tunnels: 3,
+            f: 1,
+            seed: 1,
+            mlu: 0.0,
+            max_pairs: 40,
+            tol: 1e-6,
+            opts: RobustOptions::default(),
+        }
+    }
+
+    #[test]
+    fn solve_epoch_builds_a_consistent_plan() {
+        let spec = abilene_spec();
+        let epoch = spec.solve_epoch(1, 1.0, 1, 64).unwrap();
+        assert_eq!(epoch.gen, 1);
+        assert_eq!(epoch.served.len(), epoch.inst.num_pairs());
+        assert_eq!(epoch.worst_available.len(), epoch.inst.num_pairs());
+        assert!(epoch.objective > 0.0);
+        // Identical inputs → identical digest; scaled inputs → different.
+        let again = spec.solve_epoch(7, 1.0, 1, 64).unwrap();
+        assert_eq!(epoch.plan_digest, again.plan_digest);
+        let scaled = spec.solve_epoch(2, 0.5, 1, 64).unwrap();
+        assert_ne!(epoch.plan_digest, scaled.plan_digest);
+        assert!(spec.solve_epoch(3, 0.0, 1, 64).is_err());
+        assert!(spec.solve_epoch(3, f64::NAN, 1, 64).is_err());
+    }
+
+    #[test]
+    fn plan_cell_swaps_are_ordered() {
+        let spec = abilene_spec();
+        let first = Arc::new(spec.solve_epoch(1, 1.0, 1, 16).unwrap());
+        let cell = PlanCell::new(Arc::clone(&first));
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(cell.current().gen, 1);
+
+        let second = Arc::new(spec.solve_epoch(2, 0.8, 1, 16).unwrap());
+        cell.swap(second);
+        assert_eq!(cell.generation(), 2);
+        assert_eq!(cell.current().gen, 2);
+        // The old epoch Arc is still alive for holders.
+        assert_eq!(first.gen, 1);
+    }
+
+    #[test]
+    fn scheme_flags_round_trip() {
+        for kind in [
+            SchemeKind::Ffc,
+            SchemeKind::PcfTf,
+            SchemeKind::PcfLs,
+            SchemeKind::PcfCls,
+        ] {
+            assert_eq!(SchemeKind::from_flag(kind.as_flag()), Some(kind));
+        }
+        assert_eq!(SchemeKind::from_flag("r3"), None);
+    }
+}
