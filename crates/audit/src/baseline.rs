@@ -182,12 +182,7 @@ mod tests {
     use super::*;
 
     fn finding(lint: Lint, file: &str, line: usize) -> Finding {
-        Finding {
-            lint,
-            file: file.to_string(),
-            line,
-            what: "test".to_string(),
-        }
+        Finding::at(lint, file, line, "test".to_string())
     }
 
     #[test]

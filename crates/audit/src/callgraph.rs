@@ -1,0 +1,505 @@
+//! The whole-workspace call graph and reachability with witness chains.
+//!
+//! Nodes are `fn` items from every parsed file; edges are resolved call
+//! expressions. Resolution is *receiver-typed where possible,
+//! conservative everywhere else*:
+//!
+//! * `self.method(..)` → methods of the enclosing `impl` type;
+//! * `recv.method(..)` → the receiver's type from parameter, local, or
+//!   struct-field declarations (chains like `self.cache.lookup(..)`
+//!   resolve through field types);
+//! * `Type::method(..)` → that type's methods; a trait name resolves to
+//!   every implementor's method (dynamic dispatch is over-approximated
+//!   by all impls);
+//! * `free(..)` → free functions, preferring the same file (so a
+//!   shadowed helper name binds to the local one);
+//! * unresolvable receivers (chained calls, generics, indexing) fall
+//!   back to **every** same-name method in the workspace — reachability
+//!   must over-approximate, never miss: a false edge costs an
+//!   `audit:allow` with a reason, a missing edge hides a panic.
+//!
+//! Calls that resolve to nothing are std-library leaves and produce no
+//! edges. Test functions are excluded as both sources and targets.
+
+use crate::parse::{CallTarget, FnItem, ParsedFile, Receiver};
+use crate::scanner::ScannedFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One workspace file after scanning and parsing.
+#[derive(Debug, Clone)]
+pub struct AnalyzedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Masked lines, test regions, allows.
+    pub scanned: ScannedFile,
+    /// Items and calls.
+    pub parsed: ParsedFile,
+}
+
+/// The call graph over a set of analyzed files.
+pub struct CallGraph {
+    /// Node → (file index, fn index within that file's `parsed.fns`).
+    pub nodes: Vec<(usize, usize)>,
+    /// Node → call index → resolved target nodes (empty = std leaf).
+    pub call_edges: Vec<Vec<Vec<usize>>>,
+    /// Node → deduped successor set.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph: indexes every fn, then resolves every call.
+    pub fn build(files: &[AnalyzedFile]) -> CallGraph {
+        let mut nodes: Vec<(usize, usize)> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, _) in f.parsed.fns.iter().enumerate() {
+                nodes.push((fi, gi));
+            }
+        }
+        let item = |n: usize| -> &FnItem {
+            let (fi, gi) = nodes[n];
+            &files[fi].parsed.fns[gi]
+        };
+        // Name → nodes, excluding test fns (never call targets here).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for n in 0..nodes.len() {
+            let f = item(n);
+            if !f.is_test {
+                by_name.entry(&f.name).or_default().push(n);
+            }
+        }
+        // Known workspace types and traits, and the global field map.
+        let mut known_types: BTreeSet<&str> = BTreeSet::new();
+        let mut traits: BTreeSet<&str> = BTreeSet::new();
+        let mut fields: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+        for f in files {
+            for (sname, smap) in &f.parsed.structs {
+                known_types.insert(sname);
+                fields.entry(sname).or_insert(smap);
+            }
+        }
+        for n in 0..nodes.len() {
+            let f = item(n);
+            if let Some(t) = &f.impl_type {
+                known_types.insert(t);
+            }
+            if let Some(t) = &f.trait_of {
+                traits.insert(t);
+                known_types.insert(t);
+            }
+        }
+        let resolver = Resolver {
+            files,
+            nodes: &nodes,
+            by_name: &by_name,
+            known_types: &known_types,
+            traits: &traits,
+            fields: &fields,
+        };
+        let mut call_edges: Vec<Vec<Vec<usize>>> = Vec::with_capacity(nodes.len());
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+        for n in 0..nodes.len() {
+            let f = item(n);
+            if f.is_test {
+                call_edges.push(vec![Vec::new(); f.calls.len()]);
+                edges.push(Vec::new());
+                continue;
+            }
+            let per_call: Vec<Vec<usize>> = f
+                .calls
+                .iter()
+                .map(|c| resolver.resolve(n, &c.target))
+                .collect();
+            let mut succ: Vec<usize> = per_call.iter().flatten().copied().collect();
+            succ.sort_unstable();
+            succ.dedup();
+            call_edges.push(per_call);
+            edges.push(succ);
+        }
+        CallGraph {
+            nodes,
+            call_edges,
+            edges,
+        }
+    }
+
+    /// The fn item behind a node.
+    pub fn fn_of<'a>(&self, files: &'a [AnalyzedFile], n: usize) -> &'a FnItem {
+        let (fi, gi) = self.nodes[n];
+        &files[fi].parsed.fns[gi]
+    }
+
+    /// The file behind a node.
+    pub fn file_of<'a>(&self, files: &'a [AnalyzedFile], n: usize) -> &'a AnalyzedFile {
+        &files[self.nodes[n].0]
+    }
+
+    /// Finds nodes matching (file prefix, impl type, fn name). The
+    /// impl-type filter is skipped when `None`.
+    pub fn lookup(
+        &self,
+        files: &[AnalyzedFile],
+        file_prefix: &str,
+        impl_type: Option<&str>,
+        name: &str,
+    ) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| {
+                let f = self.fn_of(files, n);
+                let file = self.file_of(files, n);
+                !f.is_test
+                    && f.name == name
+                    && file.rel.starts_with(file_prefix)
+                    && match impl_type {
+                        Some(t) => f.impl_type.as_deref() == Some(t),
+                        None => f.impl_type.is_none(),
+                    }
+            })
+            .collect()
+    }
+
+    /// BFS from `start`; returns the visit order and a parent map for
+    /// witness-chain reconstruction.
+    pub fn bfs(&self, start: usize) -> (Vec<usize>, Vec<Option<usize>>) {
+        let mut parents: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut seen = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        let mut q = VecDeque::new();
+        seen[start] = true;
+        q.push_back(start);
+        while let Some(n) = q.pop_front() {
+            order.push(n);
+            for &m in &self.edges[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    parents[m] = Some(n);
+                    q.push_back(m);
+                }
+            }
+        }
+        (order, parents)
+    }
+
+    /// Reconstructs the call chain `start → ... → node` as fn labels.
+    pub fn chain(
+        &self,
+        files: &[AnalyzedFile],
+        parents: &[Option<usize>],
+        node: usize,
+    ) -> Vec<String> {
+        let mut rev = vec![node];
+        let mut cur = node;
+        while let Some(p) = parents[cur] {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev.into_iter()
+            .map(|n| self.fn_of(files, n).label())
+            .collect()
+    }
+}
+
+struct Resolver<'a> {
+    files: &'a [AnalyzedFile],
+    nodes: &'a [(usize, usize)],
+    by_name: &'a BTreeMap<&'a str, Vec<usize>>,
+    known_types: &'a BTreeSet<&'a str>,
+    traits: &'a BTreeSet<&'a str>,
+    fields: &'a BTreeMap<&'a str, &'a BTreeMap<String, String>>,
+}
+
+impl Resolver<'_> {
+    fn item(&self, n: usize) -> &FnItem {
+        let (fi, gi) = self.nodes[n];
+        &self.files[fi].parsed.fns[gi]
+    }
+
+    fn file_rel(&self, n: usize) -> &str {
+        &self.files[self.nodes[n].0].rel
+    }
+
+    fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All methods (has_self) with this name — the conservative
+    /// fallback for unresolvable receivers.
+    fn all_methods(&self, name: &str) -> Vec<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&n| self.item(n).has_self)
+            .collect()
+    }
+
+    /// Methods of a concrete type, plus trait-dispatch expansion when
+    /// the "type" is actually a trait name.
+    fn methods_of(&self, ty: &str, name: &str) -> Vec<usize> {
+        let direct: Vec<usize> = self
+            .named(name)
+            .iter()
+            .copied()
+            .filter(|&n| self.item(n).impl_type.as_deref() == Some(ty))
+            .collect();
+        if !direct.is_empty() {
+            return direct;
+        }
+        if self.traits.contains(ty) {
+            return self
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&n| self.item(n).trait_of.as_deref() == Some(ty))
+                .collect();
+        }
+        Vec::new()
+    }
+
+    /// Resolves a receiver chain to a type name, or None.
+    fn receiver_type(&self, caller: &FnItem, receiver: &Receiver) -> Option<String> {
+        let Receiver::Chain {
+            head,
+            fields,
+            indexed,
+        } = receiver
+        else {
+            return None;
+        };
+        if *indexed {
+            return None; // container element type is unknown
+        }
+        let mut ty: String = match head {
+            None => caller.impl_type.clone()?,
+            Some(v) => {
+                let annotated = caller
+                    .params
+                    .get(v)
+                    .or_else(|| caller.locals.get(v))
+                    .cloned()?;
+                // A short all-capitalized annotation (`T`, `F`, `K2`) is
+                // a generic parameter: unresolvable, so the caller falls
+                // back to every same-name method (conservative). The
+                // check only applies here — `self` receivers and struct
+                // fields always name concrete types.
+                if Self::is_generic_param(&annotated) {
+                    return None;
+                }
+                annotated
+            }
+        };
+        for field in fields {
+            ty = self.fields.get(ty.as_str())?.get(field)?.clone();
+        }
+        Some(ty)
+    }
+
+    /// Single-uppercase-letter types are generic parameters: treat as
+    /// unresolved (conservative fallback), not as std leaves.
+    fn is_generic_param(ty: &str) -> bool {
+        ty.len() <= 2 && ty.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    }
+
+    fn resolve(&self, caller_node: usize, target: &CallTarget) -> Vec<usize> {
+        let caller = self.item(caller_node);
+        let caller_file = self.nodes[caller_node].0;
+        match target {
+            CallTarget::Macro(_) => Vec::new(),
+            CallTarget::Free(name) => {
+                // `f(..)` where `f` is a parameter or local is a call
+                // through a closure/fn-pointer variable, not a free fn —
+                // no static target (the closure's own body is analyzed
+                // at its definition site).
+                if caller.params.contains_key(name) || caller.locals.contains_key(name) {
+                    return Vec::new();
+                }
+                let free: Vec<usize> = self
+                    .named(name)
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.item(n).impl_type.is_none())
+                    .collect();
+                // Prefer same-file definitions: a local helper shadows
+                // same-name helpers elsewhere.
+                let same_file: Vec<usize> = free
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.nodes[n].0 == caller_file)
+                    .collect();
+                if same_file.is_empty() {
+                    free
+                } else {
+                    same_file
+                }
+            }
+            CallTarget::Path { qualifier, name } => {
+                let q: &str = match qualifier.as_str() {
+                    "Self" => match &caller.impl_type {
+                        Some(t) => t,
+                        None => return Vec::new(),
+                    },
+                    q => q,
+                };
+                let typed = self.methods_of(q, name);
+                if !typed.is_empty() {
+                    return typed;
+                }
+                // Module-path call (`zoo::build(..)`, `slu::refactor`):
+                // free fns in files named after the qualifier.
+                let module: Vec<usize> = self
+                    .named(name)
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        self.item(n).impl_type.is_none() && {
+                            let rel = self.file_rel(n);
+                            rel.ends_with(&format!("/{q}.rs")) || rel.contains(&format!("/{q}/"))
+                        }
+                    })
+                    .collect();
+                if !module.is_empty() {
+                    return module;
+                }
+                if self.known_types.contains(q) {
+                    // A known type without this method: std-derived
+                    // (clone, fmt...) — leaf.
+                    return Vec::new();
+                }
+                // Crate-path call (`pcf_lp::lu_factor`): any free fn.
+                self.named(name)
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.item(n).impl_type.is_none())
+                    .collect()
+            }
+            CallTarget::Method { receiver, name } => {
+                match self.receiver_type(caller, receiver) {
+                    Some(ty) => {
+                        let typed = self.methods_of(&ty, name);
+                        if !typed.is_empty() {
+                            return typed;
+                        }
+                        if self.known_types.contains(ty.as_str()) {
+                            // Workspace type, but no such method in the
+                            // workspace (derived/std trait method).
+                            return Vec::new();
+                        }
+                        // Std container or unknown type: leaf.
+                        Vec::new()
+                    }
+                    // Unresolvable receiver: every same-name method.
+                    None => self.all_methods(name),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::scanner::ScannedFile;
+
+    fn analyze(rel: &str, src: &str) -> AnalyzedFile {
+        let scanned = ScannedFile::scan(src);
+        let parsed = parse_file(&scanned);
+        AnalyzedFile {
+            rel: rel.to_string(),
+            scanned,
+            parsed,
+        }
+    }
+
+    fn labels(g: &CallGraph, files: &[AnalyzedFile], nodes: &[usize]) -> Vec<String> {
+        nodes.iter().map(|&n| g.fn_of(files, n).label()).collect()
+    }
+
+    #[test]
+    fn self_methods_resolve_within_the_impl_type() {
+        let files = vec![analyze(
+            "crates/x/src/a.rs",
+            "struct A;\nimpl A {\n    fn top(&self) { self.helper(); }\n    fn helper(&self) {}\n}\nstruct B;\nimpl B {\n    fn helper(&self) {}\n}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let top = g.lookup(&files, "crates/", Some("A"), "top")[0];
+        assert_eq!(labels(&g, &files, &g.edges[top]), vec!["A::helper"]);
+    }
+
+    #[test]
+    fn field_chain_receivers_resolve_through_struct_types() {
+        let files = vec![
+            analyze(
+                "crates/x/src/server.rs",
+                "struct Server { log: Arc<EventLog> }\nimpl Server {\n    fn handle(&self) { self.log.push(1); }\n}\n",
+            ),
+            analyze(
+                "crates/x/src/log.rs",
+                "pub struct EventLog;\nimpl EventLog {\n    pub fn push(&self, e: u64) {}\n}\nstruct Other;\nimpl Other {\n    fn push(&self) {}\n}\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        let h = g.lookup(&files, "crates/", Some("Server"), "handle")[0];
+        assert_eq!(labels(&g, &files, &g.edges[h]), vec!["EventLog::push"]);
+    }
+
+    #[test]
+    fn trait_method_dispatch_reaches_every_implementor() {
+        let files = vec![analyze(
+            "crates/x/src/a.rs",
+            "struct Holder { f: Box<dyn Factor> }\ntrait Factor {\n    fn solve(&self);\n}\nstruct Dense;\nimpl Factor for Dense {\n    fn solve(&self) { dense_work(); }\n}\nstruct Sparse;\nimpl Factor for Sparse {\n    fn solve(&self) { sparse_work(); }\n}\nimpl Holder {\n    fn go(&self) { self.f.solve(); }\n}\nfn dense_work() {}\nfn sparse_work() {}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let go = g.lookup(&files, "crates/", Some("Holder"), "go")[0];
+        let succ = labels(&g, &files, &g.edges[go]);
+        assert!(succ.contains(&"Dense::solve".to_string()), "{succ:?}");
+        assert!(succ.contains(&"Sparse::solve".to_string()), "{succ:?}");
+    }
+
+    #[test]
+    fn free_calls_prefer_the_same_file() {
+        let files = vec![
+            analyze("crates/x/src/a.rs", "fn caller() { helper(); }\nfn helper() {}\n"),
+            analyze("crates/y/src/b.rs", "fn helper() { panic!(\"other\"); }\n"),
+        ];
+        let g = CallGraph::build(&files);
+        let c = g.lookup(&files, "crates/x", None, "caller")[0];
+        assert_eq!(g.edges[c].len(), 1);
+        assert_eq!(g.file_of(&files, g.edges[c][0]).rel, "crates/x/src/a.rs");
+    }
+
+    #[test]
+    fn macros_are_not_call_edges() {
+        let files = vec![analyze(
+            "crates/x/src/a.rs",
+            "fn caller() { helper!(); }\nfn helper() {}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let c = g.lookup(&files, "crates/", None, "caller")[0];
+        assert!(g.edges[c].is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_excluded_as_targets() {
+        let files = vec![analyze(
+            "crates/x/src/a.rs",
+            "fn caller() { helper(); }\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let c = g.lookup(&files, "crates/", None, "caller")[0];
+        assert!(g.edges[c].is_empty(), "test helper must not be a target");
+    }
+
+    #[test]
+    fn bfs_chains_reconstruct_witness_paths() {
+        let files = vec![analyze(
+            "crates/x/src/a.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let a = g.lookup(&files, "crates/", None, "a")[0];
+        let c = g.lookup(&files, "crates/", None, "c")[0];
+        let (order, parents) = g.bfs(a);
+        assert!(order.contains(&c));
+        assert_eq!(g.chain(&files, &parents, c), vec!["a", "b", "c"]);
+    }
+}

@@ -10,22 +10,33 @@
 //!
 //! * [`scanner`] — a comment/string/raw-string-aware token scanner (no
 //!   `syn`), with `#[cfg(test)]` region tracking and
-//!   `// audit:allow(<lint>, <reason>)` escape parsing;
-//! * [`lints`] — the lint catalog: `no-panic-paths`,
-//!   `deterministic-iteration`, `float-discipline`,
-//!   `scoped-threads-only`, `no-wallclock-in-solver`;
+//!   `// audit:allow(<lint>, <reason>)` / `// audit:hot` parsing;
+//! * [`parse`] — a lightweight item-level parser over the masked lines:
+//!   fn/impl/trait items, call expressions, method receivers, typed
+//!   locals and struct fields;
+//! * [`callgraph`] — the whole-workspace call graph with a
+//!   conservative receiver-type resolver (a false edge costs one
+//!   reasoned `audit:allow`; a missing edge would hide a panic);
+//! * [`lints`] — the lint catalog: per-file token lints plus the
+//!   interprocedural `panic-reachability`, `atomics-discipline`,
+//!   `hot-path-alloc`, and `lock-discipline` passes;
 //! * [`baseline`] — the checked-in `audit.baseline` ratchet: existing
 //!   debt is tolerated, new violations fail, fixes shrink the file.
 //!
 //! Run it as `cargo run -p pcf-audit` (CI does), as `pcf audit` from the
-//! CLI, or `pcf-audit --write-baseline` after paying debt down.
+//! CLI, `pcf-audit --json` for the machine-readable report, or
+//! `pcf-audit --write-baseline` after paying debt down.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lints;
+pub mod parse;
 pub mod scanner;
 
 pub use baseline::{compare, parse_baseline, render_baseline, Baseline, Comparison};
-pub use lints::{check_file, Finding, Lint, ALL_LINTS};
+pub use callgraph::{AnalyzedFile, CallGraph};
+pub use lints::{check_file, check_workspace, Finding, Lint, ALL_LINTS, HOT_ENTRIES};
+pub use parse::{parse_file, ParsedFile};
 pub use scanner::ScannedFile;
 
 use std::path::{Path, PathBuf};
@@ -81,13 +92,89 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Audits a set of already-loaded files (injectable for tests).
+/// Scans and parses a set of loaded files into analyzer inputs.
+pub fn analyze_files(files: &[SourceFile]) -> Vec<AnalyzedFile> {
+    files
+        .iter()
+        .map(|f| {
+            let scanned = ScannedFile::scan(&f.text);
+            let parsed = parse_file(&scanned);
+            AnalyzedFile {
+                rel: f.rel.clone(),
+                scanned,
+                parsed,
+            }
+        })
+        .collect()
+}
+
+/// Audits a set of already-loaded files (injectable for tests): the
+/// per-file token lints plus the interprocedural workspace passes, with
+/// findings sorted by (path, line, lint, message) so reports and
+/// baselines are stable across directory-walk order.
 pub fn audit_files(files: &[SourceFile]) -> Vec<Finding> {
+    let analyzed = analyze_files(files);
     let mut findings = Vec::new();
-    for f in files {
-        findings.extend(check_file(&f.rel, &ScannedFile::scan(&f.text)));
+    for f in &analyzed {
+        findings.extend(check_file(&f.rel, &f.scanned));
     }
+    findings.extend(check_workspace(&analyzed, HOT_ENTRIES));
+    sort_findings(&mut findings);
     findings
+}
+
+/// The canonical report order: (path, line, lint name, message).
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint.name(), a.what.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.lint.name(),
+            b.what.as_str(),
+        ))
+    });
+}
+
+/// Renders findings as a JSON report (hermetic hand-rolled writer, same
+/// style as the replay/serve reports). Chains are included verbatim so
+/// CI artifacts carry the witness paths.
+pub fn findings_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let chain = f
+            .chain
+            .iter()
+            .map(|c| format!("\"{}\"", esc(c)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"what\": \"{}\", \"chain\": [{}]}}{}\n",
+            f.lint.name(),
+            esc(&f.file),
+            f.line,
+            esc(&f.what),
+            chain,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total\": {}\n", findings.len()));
+    out.push_str("}\n");
+    out
 }
 
 /// Locates the workspace root from `start`: the nearest ancestor holding
@@ -116,6 +203,13 @@ pub enum BaselineMode {
 /// exit code (0 = clean or ratchetable, 1 = regressions, 2 = setup
 /// error) and prints a human-readable report to stdout/stderr.
 pub fn run(root: &Path, mode: BaselineMode) -> i32 {
+    run_with(root, mode, false)
+}
+
+/// [`run`] with output control: `json = true` writes the machine-readable
+/// findings report to stdout (the human summary moves to stderr), so
+/// `pcf-audit --json > audit_report.json` produces a clean artifact.
+pub fn run_with(root: &Path, mode: BaselineMode, json: bool) -> i32 {
     let files = match scan_workspace(root) {
         Ok(f) => f,
         Err(e) => {
@@ -124,6 +218,9 @@ pub fn run(root: &Path, mode: BaselineMode) -> i32 {
         }
     };
     let findings = audit_files(&files);
+    if json {
+        print!("{}", findings_json(&findings));
+    }
     let baseline_path = root.join("audit.baseline");
     if mode == BaselineMode::Write {
         let text = render_baseline(&findings);
@@ -162,7 +259,7 @@ pub fn run(root: &Path, mode: BaselineMode) -> i32 {
         Err(_) => Baseline::new(),
     };
     let cmp = compare(&findings, &baseline);
-    report(&cmp, files.len());
+    report(&cmp, files.len(), json);
     if cmp.pass() {
         0
     } else {
@@ -170,17 +267,29 @@ pub fn run(root: &Path, mode: BaselineMode) -> i32 {
     }
 }
 
-/// Prints the comparison outcome.
-fn report(cmp: &Comparison, files: usize) {
-    println!(
+/// Prints the comparison outcome. With `to_stderr` the summary lines
+/// move off stdout so a `--json` redirect stays a pure JSON document.
+fn report(cmp: &Comparison, files: usize, to_stderr: bool) {
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if to_stderr {
+                eprintln!($($arg)*);
+            } else {
+                println!($($arg)*);
+            }
+        };
+    }
+    say!(
         "pcf-audit: {} findings over {} files ({} tolerated by audit.baseline)",
-        cmp.total_findings, files, cmp.total_tolerated
+        cmp.total_findings,
+        files,
+        cmp.total_tolerated
     );
     for (lint, file, found, tolerated) in &cmp.improvements {
-        println!("  improved: {lint} in {file}: {found} < baseline {tolerated} (run `pcf-audit --write-baseline` to ratchet)");
+        say!("  improved: {lint} in {file}: {found} < baseline {tolerated} (run `pcf-audit --write-baseline` to ratchet)");
     }
     if cmp.pass() {
-        println!("pcf-audit: PASS (no findings beyond the baseline)");
+        say!("pcf-audit: PASS (no findings beyond the baseline)");
         return;
     }
     for r in &cmp.regressions {

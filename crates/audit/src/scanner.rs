@@ -52,6 +52,10 @@ pub struct ScannedFile {
     pub allows: Vec<Allow>,
     /// Malformed allow escapes.
     pub bad_allows: Vec<BadAllow>,
+    /// 1-based lines of `// audit:hot` markers. Each marks the next `fn`
+    /// item at or below it as hot-path code (see the `hot-path-alloc`
+    /// and `panic-reachability` lints).
+    pub hot_marks: Vec<usize>,
 }
 
 impl ScannedFile {
@@ -62,14 +66,22 @@ impl ScannedFile {
         let in_test = test_lines(&masked_lines);
         let mut allows = Vec::new();
         let mut bad_allows = Vec::new();
+        let mut hot_marks = Vec::new();
         for (line, comment) in comments {
             parse_allows(line, &comment, &mut allows, &mut bad_allows);
+            for (offset, comment_line) in comment.lines().enumerate() {
+                let body = comment_line.trim_start_matches(['/', '*', '!', ' ', '\t']);
+                if body.trim_end() == "audit:hot" {
+                    hot_marks.push(line + offset);
+                }
+            }
         }
         ScannedFile {
             masked_lines,
             in_test,
             allows,
             bad_allows,
+            hot_marks,
         }
     }
 
@@ -282,44 +294,61 @@ pub fn mask_source(text: &str) -> (String, Vec<(usize, String)>) {
 /// sentence — like this module's own documentation — is not a directive.
 fn parse_allows(line: usize, comment: &str, allows: &mut Vec<Allow>, bad: &mut Vec<BadAllow>) {
     for (offset_lines, comment_line) in comment.lines().enumerate() {
-        let body = comment_line.trim_start_matches(['/', '*', '!', ' ', '\t']);
-        if !body.starts_with("audit:allow") {
-            continue;
-        }
+        let mut body = comment_line.trim_start_matches(['/', '*', '!', ' ', '\t']);
         let at_line = line + offset_lines;
-        let after = &body["audit:allow".len()..];
-        let Some(body2) = after.strip_prefix('(') else {
-            bad.push(BadAllow {
-                line: at_line,
-                problem: "audit:allow must be followed by (<lint>, <reason>)".into(),
-            });
-            continue;
-        };
-        let Some(close) = body2.find(')') else {
-            bad.push(BadAllow {
-                line: at_line,
-                problem: "audit:allow(...) is missing its closing parenthesis".into(),
-            });
-            continue;
-        };
-        let inner = &body2[..close];
-        match inner.split_once(',') {
-            Some((lint, reason)) if !reason.trim().is_empty() => {
-                allows.push(Allow {
-                    line: at_line,
-                    lint: lint.trim().to_string(),
-                    reason: reason.trim().trim_matches('"').to_string(),
-                });
-            }
-            _ => {
+        // A comment line may carry several directives back to back
+        // (`audit:allow(a, ...) audit:allow(b, ...)`) so one site can be
+        // excused for more than one lint.
+        while body.starts_with("audit:allow") {
+            let after = &body["audit:allow".len()..];
+            let Some(body2) = after.strip_prefix('(') else {
                 bad.push(BadAllow {
                     line: at_line,
-                    problem: format!(
-                        "audit:allow({}) needs a reason: audit:allow(<lint>, <reason>)",
-                        inner.trim()
-                    ),
+                    problem: "audit:allow must be followed by (<lint>, <reason>)".into(),
                 });
+                break;
+            };
+            // Balanced scan: the reason text may itself contain parens.
+            let mut depth = 0usize;
+            let close = body2.char_indices().find_map(|(i, c)| match c {
+                '(' => {
+                    depth += 1;
+                    None
+                }
+                ')' if depth > 0 => {
+                    depth -= 1;
+                    None
+                }
+                ')' => Some(i),
+                _ => None,
+            });
+            let Some(close) = close else {
+                bad.push(BadAllow {
+                    line: at_line,
+                    problem: "audit:allow(...) is missing its closing parenthesis".into(),
+                });
+                break;
+            };
+            let inner = &body2[..close];
+            match inner.split_once(',') {
+                Some((lint, reason)) if !reason.trim().is_empty() => {
+                    allows.push(Allow {
+                        line: at_line,
+                        lint: lint.trim().to_string(),
+                        reason: reason.trim().trim_matches('"').to_string(),
+                    });
+                }
+                _ => {
+                    bad.push(BadAllow {
+                        line: at_line,
+                        problem: format!(
+                            "audit:allow({}) needs a reason: audit:allow(<lint>, <reason>)",
+                            inner.trim()
+                        ),
+                    });
+                }
             }
+            body = body2[close + 1..].trim_start();
         }
     }
 }

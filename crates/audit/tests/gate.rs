@@ -147,3 +147,133 @@ fn hostile_fixture_still_catches_the_real_violation() {
     assert_eq!(findings[0].line, 2);
     assert_eq!(findings[0].lint, Lint::NoPanicPaths);
 }
+
+/// Hostile fixture for the v2 interprocedural lints: atomics, locks, and
+/// hot markers spelled inside strings and comments must not fire.
+#[test]
+fn v2_decoys_in_strings_and_comments_do_not_fire() {
+    let fixture = r##"
+// A comment mentioning c.fetch_add(1, Ordering::Relaxed) and .lock().
+pub fn decoy() -> &'static str {
+    let _s = "c.fetch_add(1, Ordering::Relaxed)";
+    let _r = r#"let a = m.lock(); let b = n.lock();"#;
+    /* // audit:hot
+       fn fake() { v.push(1) } */
+    "ok"
+}
+"##;
+    let files = [SourceFile {
+        rel: "crates/serve/src/fixture.rs".to_string(),
+        text: fixture.to_string(),
+    }];
+    let findings = audit_files(&files);
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+/// Fault injection against the real workspace: a panic! made reachable
+/// from the `PlanCell::swap` hot entry must fail the gate with a
+/// panic-reachability finding carrying a witness chain.
+#[test]
+fn injected_panic_reachable_from_hot_entry_fails_the_gate() {
+    let root = workspace_root();
+    let mut files = scan_workspace(&root).expect("workspace scans");
+    let f = files
+        .iter_mut()
+        .find(|f| f.rel == "crates/serve/src/plan.rs")
+        .expect("plan.rs exists");
+    let anchor = "self.gen.store(gen, Ordering::Release);";
+    assert!(f.text.contains(anchor), "swap() anchor moved; update test");
+    f.text = f.text.replace(
+        anchor,
+        "self.gen.store(gen, Ordering::Release);\n        injected_panic();",
+    );
+    f.text
+        .push_str("\nfn injected_panic() {\n    panic!(\"injected\")\n}\n");
+    let cmp = compare(&audit_files(&files), &checked_in_baseline(&root));
+    assert!(!cmp.pass(), "gate let a hot-reachable panic through");
+    let reach = cmp
+        .regressions
+        .iter()
+        .find(|r| r.lint == Lint::PanicReachability.name() && r.file == "crates/serve/src/plan.rs")
+        .unwrap_or_else(|| panic!("no panic-reachability regression: {:#?}", cmp.regressions));
+    assert!(
+        reach
+            .findings
+            .iter()
+            .any(|f| f.what.contains("injected") || !f.chain.is_empty()),
+        "finding carries no witness: {:#?}",
+        reach.findings
+    );
+}
+
+/// Fault injection: `Ordering::Relaxed` without a reasoned allow in a
+/// library crate fails the gate under atomics-discipline.
+#[test]
+fn injected_relaxed_without_reason_fails_the_gate() {
+    let root = workspace_root();
+    let mut files = scan_workspace(&root).expect("workspace scans");
+    files.push(SourceFile {
+        rel: "crates/serve/src/injected.rs".to_string(),
+        text: "use std::sync::atomic::{AtomicU64, Ordering};\n\
+               pub struct S {\n    pub c: AtomicU64,\n}\n\
+               pub fn f(s: &S) {\n    s.c.fetch_add(1, Ordering::Relaxed);\n}\n"
+            .to_string(),
+    });
+    let cmp = compare(&audit_files(&files), &checked_in_baseline(&root));
+    assert!(!cmp.pass(), "gate let an unreasoned Relaxed through");
+    assert!(
+        cmp.regressions.iter().any(|r| {
+            r.lint == Lint::AtomicsDiscipline.name() && r.file == "crates/serve/src/injected.rs"
+        }),
+        "no atomics-discipline regression: {:#?}",
+        cmp.regressions
+    );
+}
+
+/// Fault injection: an allocating call inside an `audit:hot` function
+/// fails the gate under hot-path-alloc.
+#[test]
+fn injected_hot_path_allocation_fails_the_gate() {
+    let root = workspace_root();
+    let mut files = scan_workspace(&root).expect("workspace scans");
+    files.push(SourceFile {
+        rel: "crates/serve/src/injected.rs".to_string(),
+        text: "// audit:hot\npub fn injected_hot() -> Vec<u32> {\n    Vec::new()\n}\n".to_string(),
+    });
+    let cmp = compare(&audit_files(&files), &checked_in_baseline(&root));
+    assert!(!cmp.pass(), "gate let a hot-path allocation through");
+    assert!(
+        cmp.regressions.iter().any(|r| {
+            r.lint == Lint::HotPathAlloc.name() && r.file == "crates/serve/src/injected.rs"
+        }),
+        "no hot-path-alloc regression: {:#?}",
+        cmp.regressions
+    );
+}
+
+/// Fault injection: taking a second `.lock()` while a guard is live
+/// fails the gate under lock-discipline.
+#[test]
+fn injected_nested_lock_fails_the_gate() {
+    let root = workspace_root();
+    let mut files = scan_workspace(&root).expect("workspace scans");
+    files.push(SourceFile {
+        rel: "crates/serve/src/injected.rs".to_string(),
+        text: "use std::sync::Mutex;\n\
+               pub fn f(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+               let g1 = a.lock();\n\
+               let g2 = b.lock();\n\
+               g1.map(|x| *x).unwrap_or(0) + g2.map(|x| *x).unwrap_or(0)\n\
+               }\n"
+            .to_string(),
+    });
+    let cmp = compare(&audit_files(&files), &checked_in_baseline(&root));
+    assert!(!cmp.pass(), "gate let a nested lock through");
+    assert!(
+        cmp.regressions.iter().any(|r| {
+            r.lint == Lint::LockDiscipline.name() && r.file == "crates/serve/src/injected.rs"
+        }),
+        "no lock-discipline regression: {:#?}",
+        cmp.regressions
+    );
+}

@@ -827,7 +827,9 @@ pub fn bypass_path_ablation(scale: &Scale) -> Vec<(usize, f64, f64)> {
                 tol: 1e-4,
                 ..opts.clone()
             };
-            let fsol = solve_logical_flow(&inst1, &flows, &fm, &flow_opts);
+            // audit:allow(no-panic-paths, experiment driver; a flow-stage failure should abort the ablation run)
+            let fsol = solve_logical_flow(&inst1, &flows, &fm, &flow_opts)
+                .expect("bypass ablation flow stage");
             let conditional = decompose_flows(&w.topo, &flows, &fsol, 1e-7);
             let mut b2 =
                 pcf_core::instance::InstanceBuilder::new(&w.topo, &w.tm).tunnels_per_pair(3);

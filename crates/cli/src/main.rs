@@ -415,6 +415,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 |_| 1.0,
                 &robust_options(&args)?,
             )
+            .map_err(|e| ArgError(format!("augmentation failed: {e}")))?
             .ok_or(ArgError("augmentation did not converge".into()))?;
             println!(
                 "target demand scale {target} under {f} failures: add {:.4} capacity units",

@@ -18,6 +18,37 @@
 use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, LsId, PairId};
 use pcf_lp::{LpProblem, Sense, SimplexOptions, Status, VarId};
+use std::fmt;
+
+/// Structured failure from a worst-case oracle.
+///
+/// The adversary LPs are tiny box-constrained problems that are optimal by
+/// construction, so any of these indicates a modeling or numerical bug —
+/// but callers (the cutting-plane engine, the serving daemon) want to
+/// surface that as a value, not an abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversaryError {
+    /// The LP layer rejected the adversary problem structurally.
+    Lp(pcf_lp::SolveError),
+    /// The adversary LP finished without optimality.
+    NotOptimal(Status),
+    /// An internal indexing invariant was broken.
+    Internal(&'static str),
+}
+
+impl fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryError::Lp(e) => write!(f, "adversary LP rejected: {e}"),
+            AdversaryError::NotOptimal(status) => {
+                write!(f, "adversary LP not optimal: {status}")
+            }
+            AdversaryError::Internal(what) => write!(f, "adversary invariant broken: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {}
 
 /// A worst-case scenario for one pair: the availability bound and the
 /// (possibly fractional) failure/activation levels achieving it.
@@ -86,8 +117,8 @@ pub fn worst_case_link(
     fm: &FailureModel,
     a: &[f64],
     b: &[f64],
-) -> WorstCase {
-    worst_case_link_with_extras(inst, p, fm, a, b, &[]).0
+) -> Result<WorstCase, AdversaryError> {
+    Ok(worst_case_link_with_extras(inst, p, fm, a, b, &[])?.0)
 }
 
 /// An additional `coef * h(condition)` term in the adversary's loss
@@ -108,7 +139,7 @@ pub(crate) fn add_failure_polytope(
     lp: &mut LpProblem,
     topo: &pcf_topology::Topology,
     fm: &FailureModel,
-) -> Vec<VarId> {
+) -> Result<Vec<VarId>, AdversaryError> {
     let xs: Vec<VarId> = topo.links().map(|_| lp.add_var(0.0, 1.0, 0.0)).collect();
     match fm {
         FailureModel::Links { f } => {
@@ -132,10 +163,12 @@ pub(crate) fn add_failure_polytope(
             }
         }
         FailureModel::Explicit { .. } => {
-            unreachable!("explicit scenario lists use the combinatorial adversary")
+            return Err(AdversaryError::Internal(
+                "explicit scenario lists use the combinatorial adversary",
+            ));
         }
     }
-    xs
+    Ok(xs)
 }
 
 /// Adds an `h` variable tied to `condition` (appendix linearization) with
@@ -185,7 +218,7 @@ pub fn worst_case_link_with_extras(
     a: &[f64],
     b: &[f64],
     extras: &[ExtraTerm],
-) -> (WorstCase, Vec<f64>) {
+) -> Result<(WorstCase, Vec<f64>), AdversaryError> {
     if let FailureModel::Explicit { .. } = fm {
         return worst_case_explicit(inst, p, fm, a, b, extras);
     }
@@ -201,7 +234,7 @@ pub fn worst_case_link_with_extras(
     };
     lp.set_options(opts);
 
-    let xs = add_failure_polytope(&mut lp, topo, fm);
+    let xs = add_failure_polytope(&mut lp, topo, fm)?;
 
     // y_l per tunnel of this pair, objective +a_l.
     let ys: Vec<VarId> = tunnels
@@ -237,23 +270,25 @@ pub fn worst_case_link_with_extras(
         .map(|t| add_condition_var(&mut lp, &xs, &t.condition, t.coef))
         .collect();
 
-    let sol = lp.solve().expect("adversary LP is structurally valid");
-    assert_eq!(
-        sol.status,
-        Status::Optimal,
-        "adversary LP must solve (bounded box polytope)"
-    );
+    let sol = lp.solve().map_err(AdversaryError::Lp)?;
+    if sol.status != Status::Optimal {
+        // The polytope is a bounded box, so anything but Optimal is a bug
+        // in the LP layer; report it instead of aborting the caller.
+        return Err(AdversaryError::NotOptimal(sol.status));
+    }
 
     let y: Vec<f64> = ys.iter().map(|&v| sol.value(v).clamp(0.0, 1.0)).collect();
-    let h_of = |q: LsId| -> f64 {
+    let h_of = |q: LsId| -> Result<f64, AdversaryError> {
         h_vars
             .iter()
             .find(|(qq, _)| *qq == q)
             .map(|&(_, v)| sol.value(v).clamp(0.0, 1.0))
-            .expect("every referenced LS has an h variable")
+            .ok_or(AdversaryError::Internal(
+                "referenced LS is missing its h variable",
+            ))
     };
-    let h_l: Vec<f64> = ls_l.iter().map(|&q| h_of(q)).collect();
-    let h_q: Vec<f64> = ls_q.iter().map(|&q| h_of(q)).collect();
+    let h_l: Vec<f64> = ls_l.iter().map(|&q| h_of(q)).collect::<Result<_, _>>()?;
+    let h_q: Vec<f64> = ls_q.iter().map(|&q| h_of(q)).collect::<Result<_, _>>()?;
     let h_extra: Vec<f64> = extra_vars
         .iter()
         .map(|&v| sol.value(v).clamp(0.0, 1.0))
@@ -262,7 +297,7 @@ pub fn worst_case_link_with_extras(
     let total_a: f64 = tunnels.iter().map(|l| a[l.0]).sum();
     // available = Σ a_l (1 - y_l) + Σ_L b h - Σ_Q b h - extras = Σ a_l - loss
     let available = total_a - sol.objective;
-    (
+    Ok((
         WorstCase {
             available,
             y,
@@ -270,7 +305,7 @@ pub fn worst_case_link_with_extras(
             h_q,
         },
         h_extra,
-    )
+    ))
 }
 
 /// Exact (integral) worst case over an explicit scenario list: evaluate the
@@ -288,7 +323,7 @@ fn worst_case_explicit(
     a: &[f64],
     b: &[f64],
     extras: &[ExtraTerm],
-) -> (WorstCase, Vec<f64>) {
+) -> Result<(WorstCase, Vec<f64>), AdversaryError> {
     let topo = inst.topo();
     let tunnels = inst.tunnels_of(p);
     let ls_l = inst.lss_of(p);
@@ -339,8 +374,11 @@ fn worst_case_explicit(
             best = Some((avail, y, h_l, h_q, h_extra));
         }
     }
-    let (available, y, h_l, h_q, h_extra) = best.expect("at least the no-failure scenario");
-    (
+    let Some((available, y, h_l, h_q, h_extra)) = best else {
+        // masks always contains the appended no-failure scenario.
+        return Err(AdversaryError::Internal("no scenarios were evaluated"));
+    };
+    Ok((
         WorstCase {
             available,
             y,
@@ -348,7 +386,7 @@ fn worst_case_explicit(
             h_q,
         },
         h_extra,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -401,7 +439,7 @@ mod tests {
         a[ts[0].0] = 0.7;
         a[ts[1].0] = 0.3;
         let b = vec![];
-        let wc = worst_case_link(&inst, p, &FailureModel::links(1), &a, &b);
+        let wc = worst_case_link(&inst, p, &FailureModel::links(1), &a, &b).unwrap();
         // Disjoint tunnels, one link failure kills at most one tunnel.
         assert!((wc.available - 0.3).abs() < 1e-6, "got {}", wc.available);
     }
@@ -417,7 +455,7 @@ mod tests {
         for &l in inst.tunnels_of(p) {
             a[l.0] = 0.5;
         }
-        let wc = worst_case_link(&inst, p, &FailureModel::links(2), &a, &[]);
+        let wc = worst_case_link(&inst, p, &FailureModel::links(2), &a, &[]).unwrap();
         assert!(wc.available.abs() < 1e-6);
     }
 
@@ -436,7 +474,7 @@ mod tests {
         let p = inst.pair_id(NodeId(0), NodeId(3)).unwrap();
         let a = vec![0.0; inst.num_tunnels()];
         let b = vec![0.4];
-        let wc = worst_case_link(&inst, p, &FailureModel::links(2), &a, &b);
+        let wc = worst_case_link(&inst, p, &FailureModel::links(2), &a, &b).unwrap();
         // No tunnel reservations; the LS contributes 0.4 under any scenario.
         assert!((wc.available - 0.4).abs() < 1e-6, "got {}", wc.available);
         assert!((wc.h_l[0] - 1.0).abs() < 1e-9);
@@ -467,7 +505,7 @@ mod tests {
         // (+0.5): available = 0.4 + 0.5 = 0.9. Failing e1 kills the 0.6
         // tunnel without activating the LS: available = 0.4. Failing a link
         // of the other path: available = 0.6. Worst = 0.4 (fail e1).
-        let wc = worst_case_link(&inst, p, &FailureModel::links(1), &a, &b);
+        let wc = worst_case_link(&inst, p, &FailureModel::links(1), &a, &b).unwrap();
         assert!((wc.available - 0.4).abs() < 1e-6, "got {}", wc.available);
     }
 
@@ -490,7 +528,7 @@ mod tests {
             a[l.0] = 0.5;
         }
         let b = vec![0.3];
-        let wc = worst_case_link(&inst, p_sa, &FailureModel::links(0), &a, &b);
+        let wc = worst_case_link(&inst, p_sa, &FailureModel::links(0), &a, &b).unwrap();
         // No failures: available = 1.0 - 0.3 (obligation) = 0.7.
         assert!((wc.available - 0.7).abs() < 1e-6, "got {}", wc.available);
         assert!((wc.h_q[0] - 1.0).abs() < 1e-9);
@@ -511,7 +549,7 @@ mod tests {
         // kills both tunnels.
         let groups = vec![vec![LinkId(0), LinkId(2)]];
         let fm = FailureModel::Groups { groups, f: 1 };
-        let wc = worst_case_link(&inst, p, &fm, &a, &[]);
+        let wc = worst_case_link(&inst, p, &fm, &a, &[]).unwrap();
         assert!(wc.available.abs() < 1e-6, "got {}", wc.available);
     }
 }

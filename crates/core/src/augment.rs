@@ -18,7 +18,7 @@
 use crate::adversary::{worst_case_link, WorstCase};
 use crate::failure::FailureModel;
 use crate::instance::{Instance, PairId};
-use crate::robust::RobustOptions;
+use crate::robust::{RobustError, RobustOptions};
 use pcf_lp::{nonzero, LpProblem, Sense, Status, VarId};
 use pcf_topology::LinkId;
 
@@ -43,16 +43,17 @@ pub struct Augmentation {
 /// `weight(l)` is the per-unit cost of adding capacity to link `l` (e.g.
 /// fiber distance); both directions of the link are upgraded together.
 ///
-/// Returns `None` if the cutting-plane loop fails to converge within
+/// Returns `Ok(None)` if the cutting-plane loop fails to converge within
 /// `opts.max_rounds` (the problem itself is always feasible: enough added
-/// capacity can satisfy any target).
+/// capacity can satisfy any target), and `Err` if a master or separation
+/// LP fails structurally.
 pub fn augment_capacity(
     inst: &Instance,
     fm: &FailureModel,
     z_target: f64,
     weight: impl Fn(LinkId) -> f64,
     opts: &RobustOptions,
-) -> Option<Augmentation> {
+) -> Result<Option<Augmentation>, RobustError> {
     assert!(z_target >= 0.0 && z_target.is_finite());
     struct Cut {
         pair: PairId,
@@ -139,12 +140,15 @@ pub fn augment_capacity(
             lp.add_ge(row, z_target * inst.demand(p));
         }
 
-        let sol = lp.solve().expect("augmentation LP is structurally valid");
-        assert_eq!(
-            sol.status,
-            Status::Optimal,
-            "augmentation master must solve (always feasible)"
-        );
+        let sol = lp.solve().map_err(RobustError::MasterLp)?;
+        if sol.status != Status::Optimal {
+            // Always feasible (enough extra capacity satisfies any target),
+            // so a non-optimal finish is an engine failure worth reporting.
+            return Err(RobustError::MasterNotOptimal {
+                status: sol.status,
+                round,
+            });
+        }
         let a: Vec<f64> = a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
         let b: Vec<f64> = b_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
         let extra: Vec<f64> = extra_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
@@ -153,23 +157,23 @@ pub fn augment_capacity(
         let scale_ref = 1.0 + inst.total_demand() * z_target.max(1.0);
         let mut violated = 0usize;
         for p in inst.pair_ids() {
-            let wc = worst_case_link(inst, p, fm, &a, &b);
+            let wc = worst_case_link(inst, p, fm, &a, &b).map_err(RobustError::Adversary)?;
             if wc.available < z_target * inst.demand(p) - opts.tol * scale_ref {
                 cuts.push(Cut { pair: p, wc });
                 violated += 1;
             }
         }
         if violated == 0 {
-            return Some(Augmentation {
+            return Ok(Some(Augmentation {
                 extra,
                 total_cost: sol.objective,
                 a,
                 b,
                 rounds: round,
-            });
+            }));
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -200,7 +204,9 @@ mod tests {
             .build();
         let fm = FailureModel::links(1);
         // Diamond already guarantees 1.0.
-        let aug = augment_capacity(&inst, &fm, 1.0, |_| 1.0, &RobustOptions::default()).unwrap();
+        let aug = augment_capacity(&inst, &fm, 1.0, |_| 1.0, &RobustOptions::default())
+            .unwrap()
+            .unwrap();
         assert!(aug.total_cost < 1e-6, "cost {}", aug.total_cost);
     }
 
@@ -214,7 +220,9 @@ mod tests {
         // Target 2.0 under single failures: each surviving path must carry
         // 2.0 alone -> each of the 4 links needs capacity 2 -> add 1 per
         // link -> total 4.
-        let aug = augment_capacity(&inst, &fm, 2.0, |_| 1.0, &RobustOptions::default()).unwrap();
+        let aug = augment_capacity(&inst, &fm, 2.0, |_| 1.0, &RobustOptions::default())
+            .unwrap()
+            .unwrap();
         assert!(
             (aug.total_cost - 4.0).abs() < 1e-4,
             "cost {}",
@@ -258,6 +266,7 @@ mod tests {
             |l| if l.index() <= 1 { 10.0 } else { 1.0 },
             &RobustOptions::default(),
         )
+        .unwrap()
         .unwrap();
         assert!(
             aug.extra[0] < 1e-6 && aug.extra[1] < 1e-6,

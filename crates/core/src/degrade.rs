@@ -276,7 +276,7 @@ fn rescale_stage(
             let flow = u * b[q.0];
             if flow > 0.0 {
                 for (x, y) in inst.ls(q).segments() {
-                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
+                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment) audit:allow(panic-reachability, same invariant: segment pairs are interned at construction)
                     let sp = inst.pair_id(x, y).expect("segment pairs are interned");
                     obligation[sp.0] += flow;
                 }

@@ -65,6 +65,16 @@ impl FailureModel {
         }
     }
 
+    /// The failure groups that budgeted models expand over; `None` for
+    /// explicit scenario lists, which carry their scenarios directly.
+    fn expansion_groups(&self, topo: &Topology) -> Option<Vec<Vec<LinkId>>> {
+        match self {
+            FailureModel::Links { .. } => Some(topo.links().map(|l| vec![l]).collect()),
+            FailureModel::Groups { groups, .. } => Some(groups.clone()),
+            FailureModel::Explicit { .. } => None,
+        }
+    }
+
     /// Builds the explicit scenario list containing every independent-link
     /// failure combination whose probability is at least `min_prob`, given
     /// a per-link failure probability. Scenarios are explored in decreasing
@@ -117,7 +127,9 @@ impl FailureModel {
             }
             out.push(set.iter().map(|&i| LinkId(ratio[i].0 as u32)).collect());
             // Extend with strictly larger-indexed links to avoid duplicates.
-            let last = *set.last().expect("non-empty set");
+            let Some(&last) = set.last() else {
+                continue;
+            };
             for (next, &(_, r)) in ratio.iter().enumerate().skip(last + 1) {
                 let mut bigger = set.clone();
                 bigger.push(next);
@@ -147,10 +159,8 @@ impl FailureModel {
                 })
                 .collect();
         }
-        let groups: Vec<Vec<LinkId>> = match self {
-            FailureModel::Links { .. } => topo.links().map(|l| vec![l]).collect(),
-            FailureModel::Groups { groups, .. } => groups.clone(),
-            FailureModel::Explicit { .. } => unreachable!(),
+        let Some(groups) = self.expansion_groups(topo) else {
+            return Vec::new(); // Explicit lists were handled above
         };
         let f = self.budget().min(groups.len());
         let mut out = Vec::new();
@@ -216,10 +226,8 @@ impl FailureModel {
             all.truncate(count);
             return all;
         }
-        let groups: Vec<Vec<LinkId>> = match self {
-            FailureModel::Links { .. } => topo.links().map(|l| vec![l]).collect(),
-            FailureModel::Groups { groups, .. } => groups.clone(),
-            FailureModel::Explicit { .. } => unreachable!(),
+        let Some(groups) = self.expansion_groups(topo) else {
+            return Vec::new(); // Explicit lists were handled above
         };
         let f = self.budget().min(groups.len());
         let n = groups.len();

@@ -66,6 +66,7 @@ pub fn path_through(topo: &Topology, nodes: &[NodeId]) -> Path {
             .iter()
             .find(|&&(v, _)| v == w[1])
             .map(|&(_, l)| l)
+            // audit:allow(no-panic-paths, documented contract; figure builders pass literally adjacent hops from the fixture topologies)
             .unwrap_or_else(|| panic!("nodes {} and {} are not adjacent", w[0], w[1]));
         links.push(l);
     }
@@ -204,7 +205,10 @@ pub struct Fig5 {
 pub fn fig5_topology() -> (Topology, Fig5) {
     let mut topo = Topology::new("fig5");
     let s = topo.add_node("s");
-    let r: Vec<NodeId> = (1..=7).map(|i| topo.add_node(format!("{i}"))).collect();
+    let mut r = [s; 7];
+    for (i, slot) in r.iter_mut().enumerate() {
+        *slot = topo.add_node(format!("{}", i + 1));
+    }
     let t = topo.add_node("t");
     // Dashed, capacity 1/2.
     topo.add_link(s, r[0], 0.5);
@@ -221,7 +225,6 @@ pub fn fig5_topology() -> (Topology, Fig5) {
     topo.add_link(r[4], t, 1.0);
     topo.add_link(r[5], t, 1.0);
     topo.add_link(r[6], t, 1.0);
-    let r: [NodeId; 7] = r.try_into().expect("7 routers");
     (topo, Fig5 { s, r, t })
 }
 
@@ -279,6 +282,7 @@ pub fn fig5_instance(variant: Fig5Variant) -> Instance {
                 .iter()
                 .find(|&&(v, _)| v == r[3])
                 .map(|&(_, l)| l)
+                // audit:allow(no-panic-paths, fixture invariant; the s-4 link is added a few lines above in fig5_topology)
                 .expect("link s-4 exists");
             b = b.add_ls(LogicalSequence {
                 hops: vec![s, r[3], t],

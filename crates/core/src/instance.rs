@@ -48,12 +48,20 @@ impl LogicalSequence {
     }
 
     /// Source node.
+    ///
+    /// # Panics
+    /// Panics on a malformed hop-less LS; `InstanceBuilder` rejects those.
     pub fn source(&self) -> NodeId {
+        // audit:allow(no-panic-paths, documented contract; InstanceBuilder rejects hop-less sequences) audit:allow(panic-reachability, same invariant: every LS reaching solvers came through the builder)
         *self.hops.first().expect("LS has hops")
     }
 
     /// Destination node.
+    ///
+    /// # Panics
+    /// Panics on a malformed hop-less LS; `InstanceBuilder` rejects those.
     pub fn dest(&self) -> NodeId {
+        // audit:allow(no-panic-paths, documented contract; InstanceBuilder rejects hop-less sequences) audit:allow(panic-reachability, same invariant: every LS reaching solvers came through the builder)
         *self.hops.last().expect("LS has hops")
     }
 

@@ -51,11 +51,13 @@ pub use realize::{
     topological_order, FailureState, RealizeError, RealizeKernel, Routing,
 };
 pub use robust::{
-    solve_robust, try_solve_robust, AdversaryKind, RobustError, RobustOptions, RobustSolution,
+    solve_robust, try_solve_robust, try_solve_robust_seeded, AdversaryKind, CutPool, RobustError,
+    RobustOptions, RobustSolution,
 };
 pub use scale::scale_to_mlu;
 pub use schemes::{
-    pcf_ls_instance, solve_ffc, solve_pcf_cls, solve_pcf_ls, solve_pcf_tf, tunnel_instance,
+    pcf_ls_instance, solve_ffc, solve_ffc_seeded, solve_pcf_cls, solve_pcf_ls, solve_pcf_ls_seeded,
+    solve_pcf_tf, solve_pcf_tf_seeded, tunnel_instance,
 };
 pub use validate::{
     validate_all, validate_all_with, validate_scenarios, validate_scenarios_with, ArcHotspot,

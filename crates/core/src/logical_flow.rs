@@ -19,7 +19,7 @@ use crate::adversary::{worst_case_link_with_extras, ExtraTerm, WorstCase};
 use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, InstanceBuilder, LogicalSequence, PairId};
 use crate::objective::Objective;
-use crate::robust::RobustOptions;
+use crate::robust::{RobustError, RobustOptions};
 use pcf_lp::{nonzero, LpProblem, Sense, Status, VarId};
 use pcf_topology::{LinkId, NodeId, Topology};
 use pcf_traffic::TrafficMatrix;
@@ -142,21 +142,22 @@ fn no_failure_h(cond: &Condition) -> f64 {
 ///
 /// The instance must already contain a pair for every flow endpoint pair
 /// and every supported segment (see
-/// [`crate::instance::InstanceBuilder::add_pair`]); this is asserted.
+/// [`crate::instance::InstanceBuilder::add_pair`]); a missing pair is
+/// reported as [`RobustError::FlowPairMissing`].
 pub fn solve_logical_flow(
     inst: &Instance,
     flows: &[FlowSpec],
     fm: &FailureModel,
     opts: &RobustOptions,
-) -> FlowSolution {
+) -> Result<FlowSolution, RobustError> {
     // Pair resolution tables.
     let flow_pair: Vec<PairId> = flows
         .iter()
         .map(|w| {
             inst.pair_id(w.src, w.dst)
-                .expect("flow endpoint pair must be in the instance")
+                .ok_or(RobustError::FlowPairMissing("flow endpoint pair"))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let seg_pair: Vec<Vec<PairId>> = flows
         .iter()
         .map(|w| {
@@ -164,11 +165,11 @@ pub fn solve_logical_flow(
                 .iter()
                 .map(|&(u, v)| {
                     inst.pair_id(u, v)
-                        .expect("flow segment pair must be in the instance")
+                        .ok_or(RobustError::FlowPairMissing("flow segment pair"))
                 })
-                .collect()
+                .collect::<Result<_, _>>()
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     // Reverse index: pair -> (flow, role).
     let mut res_of_pair: HashMap<PairId, Vec<usize>> = HashMap::new();
     for (w, &p) in flow_pair.iter().enumerate() {
@@ -222,10 +223,10 @@ pub fn solve_logical_flow(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        let (a, b, fb, fp, z, objective) = solve_flow_master(inst, flows, &cuts, opts);
+        let (a, b, fb, fp, z, objective) = solve_flow_master(inst, flows, &cuts, opts, rounds)?;
 
         if rounds > opts.max_rounds {
-            return FlowSolution {
+            return Ok(FlowSolution {
                 objective,
                 z,
                 a,
@@ -233,7 +234,7 @@ pub fn solve_logical_flow(
                 flow_b: fb,
                 flow_p: fp,
                 rounds: rounds - 1,
-            };
+            });
         }
 
         let scale = 1.0 + inst.total_demand();
@@ -256,7 +257,8 @@ pub fn solve_logical_flow(
                     condition: flows[w].condition.clone(),
                 });
             }
-            let (wc, h_extra) = worst_case_link_with_extras(inst, p, fm, &a, &b, &extras);
+            let (wc, h_extra) = worst_case_link_with_extras(inst, p, fm, &a, &b, &extras)
+                .map_err(RobustError::Adversary)?;
             let required = z[p.0] * inst.demand(p);
             if wc.available < required - opts.tol * scale {
                 let h_res = res
@@ -279,7 +281,7 @@ pub fn solve_logical_flow(
             }
         }
         if violated == 0 {
-            return FlowSolution {
+            return Ok(FlowSolution {
                 objective,
                 z,
                 a,
@@ -287,18 +289,21 @@ pub fn solve_logical_flow(
                 flow_b: fb,
                 flow_p: fp,
                 rounds,
-            };
+            });
         }
     }
 }
 
 #[allow(clippy::type_complexity)]
+type FlowMasterOut = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>, f64);
+
 fn solve_flow_master(
     inst: &Instance,
     flows: &[FlowSpec],
     cuts: &[FlowCut],
     opts: &RobustOptions,
-) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>, f64) {
+    round: usize,
+) -> Result<FlowMasterOut, RobustError> {
     let topo = inst.topo();
     let mut lp = LpProblem::new(Sense::Maximize);
     lp.set_options(opts.lp.clone());
@@ -416,12 +421,13 @@ fn solve_flow_master(
         lp.add_ge(row, 0.0);
     }
 
-    let sol = lp.solve().expect("flow master LP is structurally valid");
-    assert!(
-        sol.status == Status::Optimal,
-        "flow master did not reach optimality: {}",
-        sol.status
-    );
+    let sol = lp.solve().map_err(RobustError::MasterLp)?;
+    if sol.status != Status::Optimal {
+        return Err(RobustError::MasterNotOptimal {
+            status: sol.status,
+            round,
+        });
+    }
     let a: Vec<f64> = a_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
     let b: Vec<f64> = b_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
     let fb: Vec<f64> = fb_vars.iter().map(|&v| sol.value(v).max(0.0)).collect();
@@ -436,7 +442,7 @@ fn solve_flow_master(
             ZVars::PerPair(vs) => vs[p.0].map_or(0.0, |v| sol.value(v)),
         })
         .collect();
-    (a, b, fb, fp, z, sol.objective)
+    Ok((a, b, fb, fp, z, sol.objective))
 }
 
 /// Decomposes solved flows into logical sequences (§3.5): for each flow
@@ -533,7 +539,11 @@ pub fn pcf_cls_pipeline(
         }
     }
     let inst1 = b1.build();
-    let fsol = solve_logical_flow(&inst1, &flows, fm, &flow_opts);
+    let fsol = match solve_logical_flow(&inst1, &flows, fm, &flow_opts) {
+        Ok(s) => s,
+        // audit:allow(no-panic-paths, compatibility wrapper; fallible path is solve_logical_flow) audit:allow(panic-reachability, same wrapper contract as solve_robust)
+        Err(e) => panic!("logical-flow stage failed: {e}"),
+    };
     let conditional = decompose_flows(topo, &flows, &fsol, 1e-7);
 
     // Stage 2: the CLS model proper.
@@ -670,7 +680,8 @@ mod flow_model_tests {
             &flows,
             &FailureModel::links(0),
             &RobustOptions::default(),
-        );
+        )
+        .unwrap();
         // Net outflow at the source equals b_w.
         let mut net = 0.0;
         for (si, &(u, v)) in flows[0].support.iter().enumerate() {
@@ -710,13 +721,15 @@ mod flow_model_tests {
             &flows,
             &FailureModel::links(1),
             &RobustOptions::default(),
-        );
+        )
+        .unwrap();
         let without = solve_logical_flow(
             &inst,
             &[],
             &FailureModel::links(1),
             &RobustOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(
             with_flows.objective > without.objective + 0.3,
             "bypass {} vs none {}",

@@ -196,7 +196,7 @@ pub fn pairs_of_interest(
         for q in state.active_lss(inst, p) {
             if b[q.0] > eps {
                 for (u, v) in inst.ls(q).segments() {
-                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
+                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment) audit:allow(panic-reachability, same invariant: segment pairs are interned at construction)
                     let sp = inst.pair_id(u, v).expect("segment pairs are interned");
                     if !interest[sp.0] {
                         interest[sp.0] = true;
@@ -466,7 +466,7 @@ pub fn topological_order(inst: &Instance, b: &[f64]) -> Option<Vec<PairId>> {
         }
         let owner = inst.ls_pair(q);
         for (u, v) in inst.ls(q).segments() {
-            // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
+            // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment) audit:allow(panic-reachability, same invariant: segment pairs are interned at construction)
             let sp = inst.pair_id(u, v).expect("segment pairs are interned");
             if sp != owner {
                 adj[owner.0].push(sp.0);
@@ -593,7 +593,7 @@ pub fn proportional_routing(
             let flow = u * b[q.0];
             if flow > 0.0 {
                 for (x, y) in inst.ls(q).segments() {
-                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment)
+                    // audit:allow(no-panic-paths, Instance construction interns a pair for every LS segment) audit:allow(panic-reachability, same invariant: segment pairs are interned at construction)
                     let sp = inst.pair_id(x, y).expect("segment pairs are interned");
                     obligation[sp.0] += flow;
                 }

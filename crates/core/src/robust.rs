@@ -23,7 +23,7 @@
 //! [`RobustOptions::threads`] scoped worker threads; the oracles are pure
 //! functions of the shared reservations, so pairs partition cleanly.
 
-use crate::adversary::{worst_case_ffc, worst_case_link, WorstCase};
+use crate::adversary::{worst_case_ffc, worst_case_link, AdversaryError, WorstCase};
 use crate::failure::{Condition, FailureModel};
 use crate::instance::{Instance, PairId};
 use crate::objective::Objective;
@@ -52,6 +52,11 @@ pub enum RobustError {
         /// 1-based cutting-plane round that failed.
         round: usize,
     },
+    /// A per-pair separation oracle failed.
+    Adversary(AdversaryError),
+    /// The logical-flow model referenced an endpoint or segment pair that
+    /// is absent from the instance (a modeling error in the flow spec).
+    FlowPairMissing(&'static str),
 }
 
 impl fmt::Display for RobustError {
@@ -60,6 +65,10 @@ impl fmt::Display for RobustError {
             RobustError::MasterLp(e) => write!(f, "master LP rejected: {e}"),
             RobustError::MasterNotOptimal { status, round } => {
                 write!(f, "master LP not optimal in round {round}: {status}")
+            }
+            RobustError::Adversary(e) => write!(f, "separation oracle failed: {e}"),
+            RobustError::FlowPairMissing(what) => {
+                write!(f, "flow references a pair missing from the instance: {what}")
             }
         }
     }
@@ -141,6 +150,10 @@ pub struct RobustSolution {
     /// Master re-solves answered by warm-starting the retained basis
     /// (always 0 when [`RobustOptions::warm_start`] is off).
     pub warm_rounds: usize,
+    /// Cuts injected into the first master from a previous solve's
+    /// [`CutPool`] (0 on a cold start or when the offered pool did not
+    /// shape-match the instance).
+    pub seeded_cuts: usize,
     /// Per-pair worst-case availability of the final reservations over the
     /// relaxed failure polytope — the inner adversary's optimum, i.e. the
     /// value the dualized inner problem certifies. At convergence
@@ -158,6 +171,51 @@ pub struct RobustSolution {
 struct Cut {
     pair: PairId,
     wc: WorstCase,
+}
+
+/// The scenario cuts of a converged solve, exported so the next solve of a
+/// same-shape instance can seed its master with them instead of
+/// rediscovering the binding scenarios from scratch (an epoch-to-epoch
+/// warm start: demand re-scales and traffic re-draws move the optimal
+/// reservations, but the adversarial scenarios that bind them are largely
+/// stable).
+///
+/// A pool is only meaningful for an instance with identical pair, tunnel,
+/// and LS indexing; [`CutPool::matches`] guards that, and the seeded
+/// solvers silently fall back to a cold start on mismatch.
+#[derive(Debug, Clone, Default)]
+pub struct CutPool {
+    pairs: usize,
+    tunnels: usize,
+    lss: usize,
+    cuts: Vec<(PairId, WorstCase)>,
+}
+
+impl CutPool {
+    /// Number of cuts in the pool.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Whether the pool holds no cuts.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// Whether every cut in the pool index-matches `inst` (same pair,
+    /// tunnel, and LS shape). Cuts exported from a differently shaped
+    /// instance would bind the wrong variables.
+    pub fn matches(&self, inst: &Instance) -> bool {
+        self.pairs == inst.num_pairs()
+            && self.tunnels == inst.num_tunnels()
+            && self.lss == inst.num_lss()
+            && self.cuts.iter().all(|(p, wc)| {
+                p.0 < self.pairs
+                    && wc.y.len() == inst.tunnels_of(*p).len()
+                    && wc.h_l.len() == inst.lss_of(*p).len()
+                    && wc.h_q.len() == inst.segments_of(*p).len()
+            })
+    }
 }
 
 /// Evaluates the activation level of every condition in the no-failure
@@ -211,6 +269,28 @@ pub fn try_solve_robust(
     kind: AdversaryKind,
     opts: &RobustOptions,
 ) -> Result<RobustSolution, RobustError> {
+    try_solve_robust_seeded(inst, fm, kind, opts, None).map(|(sol, _)| sol)
+}
+
+/// [`try_solve_robust`] with an optional [`CutPool`] warm start: cuts from
+/// a previous solve of a same-shape instance are injected into the first
+/// master, typically collapsing the cutting-plane loop to one or two
+/// rounds. Returns the solution together with the pool of cuts generated
+/// (seeded plus freshly separated), ready to seed the next solve.
+///
+/// A pool that does not [`CutPool::matches`] the instance is ignored — the
+/// solve falls back to cold and the fact is visible as `seeded_cuts == 0`.
+///
+/// # Panics
+/// Panics if `kind` is [`AdversaryKind::FfcTunnelCount`] and the instance
+/// has logical sequences (a modeling error, not a runtime condition).
+pub fn try_solve_robust_seeded(
+    inst: &Instance,
+    fm: &FailureModel,
+    kind: AdversaryKind,
+    opts: &RobustOptions,
+    seed: Option<&CutPool>,
+) -> Result<(RobustSolution, CutPool), RobustError> {
     if kind == AdversaryKind::FfcTunnelCount {
         assert_eq!(
             inst.num_lss(),
@@ -242,10 +322,37 @@ pub fn try_solve_robust(
         })
         .collect();
 
+    // Warm start: replay the cuts of a previous same-shape solve so the
+    // first master already knows the scenarios that bound the last epoch.
+    let base_cuts = cuts.len();
+    let mut seeded_cuts = 0usize;
+    if let Some(pool) = seed {
+        if pool.matches(inst) {
+            cuts.extend(pool.cuts.iter().map(|(p, wc)| Cut {
+                pair: *p,
+                wc: wc.clone(),
+            }));
+            seeded_cuts = pool.cuts.len();
+        }
+    }
+
     let mut master = Master::new(inst, opts);
     for cut in &cuts {
         master.append_cut(inst, cut);
     }
+
+    // The exported pool skips the first `base_cuts` entries: the
+    // no-failure cuts are regenerated by every solve, so replaying them
+    // would only duplicate rows.
+    let export = |cuts: &[Cut]| CutPool {
+        pairs: inst.num_pairs(),
+        tunnels: inst.num_tunnels(),
+        lss: inst.num_lss(),
+        cuts: cuts[base_cuts..]
+            .iter()
+            .map(|c| (c.pair, c.wc.clone()))
+            .collect(),
+    };
 
     let mut rounds = 0usize;
     let mut warm_rounds = 0usize;
@@ -267,22 +374,28 @@ pub fn try_solve_robust(
             // One extra separation pass prices the incumbent so the
             // solution still carries its worst-case availabilities (the
             // round limit is a rare escape hatch, not the steady state).
-            let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads());
-            return Ok(RobustSolution {
-                objective,
-                z,
-                a,
-                b,
-                rounds: rounds - 1,
-                cuts: cuts.len(),
-                warm_rounds,
-                worst_available: wcs.iter().map(|wc| wc.available).collect(),
-            });
+            let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads())
+                .map_err(RobustError::Adversary)?;
+            return Ok((
+                RobustSolution {
+                    objective,
+                    z,
+                    a,
+                    b,
+                    rounds: rounds - 1,
+                    cuts: cuts.len(),
+                    warm_rounds,
+                    seeded_cuts,
+                    worst_available: wcs.iter().map(|wc| wc.available).collect(),
+                },
+                export(&cuts),
+            ));
         }
 
         // Separation: every pair's oracle is independent, so fan the pairs
         // out over worker threads.
-        let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads());
+        let wcs = separate(inst, fm, kind, &a, &b, opts.effective_threads())
+            .map_err(RobustError::Adversary)?;
         let worst_available: Vec<f64> = wcs.iter().map(|wc| wc.available).collect();
         let scale = 1.0 + inst.total_demand();
         let mut violated = 0usize;
@@ -296,16 +409,20 @@ pub fn try_solve_robust(
             }
         }
         if violated == 0 {
-            return Ok(RobustSolution {
-                objective,
-                z,
-                a,
-                b,
-                rounds,
-                cuts: cuts.len(),
-                warm_rounds,
-                worst_available,
-            });
+            return Ok((
+                RobustSolution {
+                    objective,
+                    z,
+                    a,
+                    b,
+                    rounds,
+                    cuts: cuts.len(),
+                    warm_rounds,
+                    seeded_cuts,
+                    worst_available,
+                },
+                export(&cuts),
+            ));
         }
     }
 }
@@ -320,17 +437,19 @@ fn separate(
     a: &[f64],
     b: &[f64],
     threads: usize,
-) -> Vec<WorstCase> {
+) -> Result<Vec<WorstCase>, AdversaryError> {
     let pairs: Vec<PairId> = inst.pair_ids().collect();
-    let oracle = |p: PairId| match kind {
-        AdversaryKind::FfcTunnelCount => worst_case_ffc(inst, p, fm, a),
-        AdversaryKind::LinkBased => worst_case_link(inst, p, fm, a, b),
+    let oracle = |p: PairId| -> Result<WorstCase, AdversaryError> {
+        match kind {
+            AdversaryKind::FfcTunnelCount => Ok(worst_case_ffc(inst, p, fm, a)),
+            AdversaryKind::LinkBased => worst_case_link(inst, p, fm, a, b),
+        }
     };
     let nt = threads.max(1).min(pairs.len().max(1));
     if nt <= 1 {
         return pairs.into_iter().map(oracle).collect();
     }
-    let mut out: Vec<Option<WorstCase>> = Vec::new();
+    let mut out: Vec<Option<Result<WorstCase, AdversaryError>>> = Vec::new();
     out.resize_with(pairs.len(), || None);
     let chunk = pairs.len().div_ceil(nt);
     let oracle = &oracle;
@@ -627,6 +746,46 @@ mod tests {
                 "arc {arc:?} overloaded"
             );
         }
+    }
+
+    #[test]
+    fn seeded_solve_matches_cold_and_counts_cuts() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let fm = FailureModel::links(1);
+        let opts = RobustOptions::default();
+        let (cold, pool) =
+            try_solve_robust_seeded(&inst, &fm, AdversaryKind::LinkBased, &opts, None).unwrap();
+        assert_eq!(cold.seeded_cuts, 0);
+        assert!(!pool.is_empty(), "f=1 must generate separation cuts");
+        assert!(pool.matches(&inst));
+
+        // Warm re-solve of the same instance: identical optimum, the pool
+        // injected up front, and no more rounds than the cold solve took.
+        let (warm, pool2) =
+            try_solve_robust_seeded(&inst, &fm, AdversaryKind::LinkBased, &opts, Some(&pool))
+                .unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert_eq!(warm.seeded_cuts, pool.len());
+        assert!(warm.rounds <= cold.rounds);
+        assert!(pool2.len() >= pool.len());
+
+        // A pool from a differently shaped instance is silently ignored.
+        let other = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(1)
+            .build();
+        assert!(!pool.matches(&other));
+        let (cold2, _) =
+            try_solve_robust_seeded(&other, &fm, AdversaryKind::LinkBased, &opts, Some(&pool))
+                .unwrap();
+        assert_eq!(cold2.seeded_cuts, 0);
     }
 }
 

@@ -14,7 +14,10 @@
 
 use crate::failure::FailureModel;
 use crate::instance::{Instance, InstanceBuilder, LogicalSequence};
-use crate::robust::{solve_robust, AdversaryKind, RobustOptions, RobustSolution};
+use crate::robust::{
+    solve_robust, try_solve_robust_seeded, AdversaryKind, CutPool, RobustError, RobustOptions,
+    RobustSolution,
+};
 use pcf_topology::Topology;
 use pcf_traffic::TrafficMatrix;
 
@@ -49,6 +52,49 @@ pub fn solve_pcf_ls(inst: &Instance, fm: &FailureModel, opts: &RobustOptions) ->
 /// Alias of [`solve_pcf_ls`] for instances carrying conditional LSs.
 pub fn solve_pcf_cls(inst: &Instance, fm: &FailureModel, opts: &RobustOptions) -> RobustSolution {
     solve_robust(inst, fm, AdversaryKind::LinkBased, opts)
+}
+
+/// [`solve_ffc`] with a [`CutPool`] warm start (see
+/// [`try_solve_robust_seeded`]): seed with a previous epoch's pool and get
+/// back the pool for the next one.
+///
+/// # Panics
+/// Panics if the instance contains logical sequences.
+pub fn solve_ffc_seeded(
+    inst: &Instance,
+    fm: &FailureModel,
+    opts: &RobustOptions,
+    seed: Option<&CutPool>,
+) -> Result<(RobustSolution, CutPool), RobustError> {
+    try_solve_robust_seeded(inst, fm, AdversaryKind::FfcTunnelCount, opts, seed)
+}
+
+/// [`solve_pcf_tf`] with a [`CutPool`] warm start.
+///
+/// # Panics
+/// Panics if the instance contains logical sequences.
+pub fn solve_pcf_tf_seeded(
+    inst: &Instance,
+    fm: &FailureModel,
+    opts: &RobustOptions,
+    seed: Option<&CutPool>,
+) -> Result<(RobustSolution, CutPool), RobustError> {
+    assert_eq!(
+        inst.num_lss(),
+        0,
+        "PCF-TF is the tunnel-only model; build LSs with solve_pcf_ls"
+    );
+    try_solve_robust_seeded(inst, fm, AdversaryKind::LinkBased, opts, seed)
+}
+
+/// [`solve_pcf_ls`] with a [`CutPool`] warm start.
+pub fn solve_pcf_ls_seeded(
+    inst: &Instance,
+    fm: &FailureModel,
+    opts: &RobustOptions,
+    seed: Option<&CutPool>,
+) -> Result<(RobustSolution, CutPool), RobustError> {
+    try_solve_robust_seeded(inst, fm, AdversaryKind::LinkBased, opts, seed)
 }
 
 /// Builds a pure-tunnel instance (FFC / PCF-TF) with `k` tunnels per demand

@@ -380,7 +380,7 @@ impl Tableau {
                     (rc, -1.0)
                 }
             }
-            // audit:allow(no-panic-paths, pricing scans only nonbasic columns; Basic is filtered above)
+            // audit:allow(no-panic-paths, pricing scans only nonbasic columns; Basic is filtered above) audit:allow(panic-reachability, same invariant: Basic columns are filtered before pricing)
             VarState::Basic(_) => unreachable!(),
         };
         Some((rc, dir, viol))
@@ -617,7 +617,7 @@ impl Tableau {
                         VarState::AtLower => self.lower[jin] + t,
                         VarState::AtUpper => self.upper[jin] - t,
                         VarState::FreeZero => dir * t,
-                        // audit:allow(no-panic-paths, the entering column is nonbasic by construction)
+                        // audit:allow(no-panic-paths, the entering column is nonbasic by construction) audit:allow(panic-reachability, same invariant: the entering column is nonbasic)
                         VarState::Basic(_) => unreachable!(),
                     };
                     let jout = self.basis[r];

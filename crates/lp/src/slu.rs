@@ -113,6 +113,7 @@ impl SparseLu {
     /// [`crate::linsys::LuFactors::solve`] when the factors came from
     /// [`SparseLu::factor_dense_compat`].
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        // audit:allow(panic-reachability, dimension guard; every caller passes an rhs sized by the factored basis)
         assert_eq!(b.len(), self.n, "rhs dimension mismatch");
         let mut z = vec![0.0; self.n];
         self.solve_scratch(b, &mut z);

@@ -26,12 +26,22 @@ pub struct Path {
 
 impl Path {
     /// The source node.
+    ///
+    /// # Panics
+    /// Panics on a malformed empty path; every constructor in this crate
+    /// produces at least one node.
     pub fn source(&self) -> NodeId {
+        // audit:allow(no-panic-paths, documented contract; all constructors yield non-empty node lists) audit:allow(panic-reachability, same invariant: paths are built by this crate's own algorithms)
         *self.nodes.first().expect("path has at least one node")
     }
 
     /// The destination node.
+    ///
+    /// # Panics
+    /// Panics on a malformed empty path; every constructor in this crate
+    /// produces at least one node.
     pub fn dest(&self) -> NodeId {
+        // audit:allow(no-panic-paths, documented contract; all constructors yield non-empty node lists) audit:allow(panic-reachability, same invariant: paths are built by this crate's own algorithms)
         *self.nodes.last().expect("path has at least one node")
     }
 
@@ -146,7 +156,11 @@ pub fn shortest_path_weighted(
     let mut links = Vec::new();
     let mut cur = t;
     while cur != s {
-        let (p, l) = prev[cur.index()].expect("reachable node has predecessor");
+        // A finite distance implies a recorded predecessor; bail out rather
+        // than panic if the invariant is ever broken.
+        let Some((p, l)) = prev[cur.index()] else {
+            return None;
+        };
         nodes.push(p);
         links.push(l);
         cur = p;
@@ -174,7 +188,9 @@ pub fn yen_k_shortest(topo: &Topology, s: NodeId, t: NodeId, k: usize) -> Vec<Pa
     found.push(first);
     let mut candidates: Vec<Path> = Vec::new();
     while found.len() < k {
-        let last = found.last().expect("at least one found path").clone();
+        let Some(last) = found.last().cloned() else {
+            break;
+        };
         // Spur from each node of the last found path.
         for i in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[i];
@@ -215,12 +231,14 @@ pub fn yen_k_shortest(topo: &Topology, s: NodeId, t: NodeId, k: usize) -> Vec<Pa
             break;
         }
         // Take shortest candidate; deterministic tie-break on node sequence.
-        let best = candidates
+        let Some(best) = candidates
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.len().cmp(&b.len()).then_with(|| a.nodes.cmp(&b.nodes)))
             .map(|(i, _)| i)
-            .expect("candidates nonempty");
+        else {
+            break;
+        };
         found.push(candidates.swap_remove(best));
     }
     found
@@ -430,10 +448,9 @@ pub fn edge_disjoint_pair(topo: &Topology, s: NodeId, t: NodeId) -> Option<(Path
         }
         let arc = prev[cur.index()]?;
         let rev = arc.reversed();
-        if use_count.get(&rev.0).copied().unwrap_or(0) > 0 {
-            *use_count.get_mut(&rev.0).expect("entry exists") -= 1; // cancel
-        } else {
-            *use_count.entry(arc.0).or_insert(0) += 1;
+        match use_count.get_mut(&rev.0) {
+            Some(cnt) if *cnt > 0 => *cnt -= 1, // cancel the reverse arc
+            _ => *use_count.entry(arc.0).or_insert(0) += 1,
         }
         cur = topo.arc_src(arc);
     }
@@ -531,7 +548,12 @@ pub fn widest_path(
     let mut nodes = vec![t];
     let mut cur = t;
     while cur != s {
-        cur = prev[cur].expect("reachable node has predecessor");
+        // Positive width implies a recorded predecessor; bail out rather
+        // than panic if the invariant is ever broken.
+        let Some(p) = prev[cur] else {
+            return None;
+        };
+        cur = p;
         nodes.push(cur);
     }
     nodes.reverse();

@@ -112,6 +112,7 @@ pub fn forall<T: std::fmt::Debug>(
             break; // no candidate still fails: local minimum
         }
 
+        // audit:allow(no-panic-paths, panicking with the shrunk counterexample is this harness's entire job)
         panic!(
             "property {name:?} failed (case {case}/{total}, seed {case_seed:#x}):\n  \
              input: {best:?}\n  error: {best_err}",

@@ -41,13 +41,16 @@ pub use protocol::{error_response, parse_request, Request};
 pub use server::{ServeOptions, Server};
 pub use telemetry::{AtomicHistogram, ServeReport, Stopwatch, Telemetry};
 
-/// A serving-side failure: transport or plan construction.
+/// A serving-side failure: transport, plan construction, or the robust
+/// engine itself.
 #[derive(Debug)]
 pub enum ServeError {
     /// Socket-level failure (bind, accept).
     Io(std::io::Error),
     /// The plan spec could not be solved into an epoch.
     BadSpec(String),
+    /// The robust engine failed while solving an epoch.
+    Solve(pcf_core::RobustError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -55,6 +58,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::BadSpec(what) => write!(f, "bad plan spec: {what}"),
+            ServeError::Solve(e) => write!(f, "epoch solve failed: {e}"),
         }
     }
 }
@@ -64,6 +68,12 @@ impl std::error::Error for ServeError {}
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> ServeError {
         ServeError::Io(e)
+    }
+}
+
+impl From<pcf_core::RobustError> for ServeError {
+    fn from(e: pcf_core::RobustError) -> ServeError {
+        ServeError::Solve(e)
     }
 }
 

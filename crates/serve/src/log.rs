@@ -82,6 +82,7 @@ impl EventLog {
 
     /// Appends one event; returns its index. Lock-free: a `fetch_add`
     /// claims the slot, a `Release` store publishes it.
+    // audit:hot
     pub fn push(&self, event: LogEvent) -> Result<usize, LogFull> {
         let encoded = match event {
             LogEvent::Reset => KIND_RESET,
@@ -97,24 +98,29 @@ impl EventLog {
             }
         };
         let idx = self.tail.fetch_add(1, Ordering::AcqRel);
-        if idx >= self.slots.len() {
-            // Overshot: the tail keeps growing but `tail()` clamps, so
-            // readers never chase phantom slots.
+        // Overshot claims fail structurally: the tail keeps growing but
+        // `tail()` clamps, so readers never chase phantom slots.
+        let Some(slot) = self.slots.get(idx) else {
             return Err(LogFull {
                 capacity: self.slots.len(),
             });
-        }
-        self.slots[idx].store(encoded | PUBLISHED, Ordering::Release);
+        };
+        slot.store(encoded | PUBLISHED, Ordering::Release);
         Ok(idx)
     }
 
     /// Reads the event at `idx` (< [`EventLog::tail`]). If the slot is
     /// claimed but not yet published, spins briefly — the writer's store
-    /// follows its claim by two instructions.
+    /// follows its claim by two instructions. The in-range contract is
+    /// enforced where indices are produced: every caller iterates
+    /// `0..tail()`, and `tail()` clamps to capacity.
+    // audit:hot
     pub fn get(&self, idx: usize) -> LogEvent {
+        // audit:allow(panic-reachability, callers iterate 0..tail() which is clamped to capacity)
         let mut encoded = self.slots[idx].load(Ordering::Acquire);
         while encoded & PUBLISHED == 0 {
             std::hint::spin_loop();
+            // audit:allow(panic-reachability, same in-range index as the load above)
             encoded = self.slots[idx].load(Ordering::Acquire);
         }
         let kind = encoded & 0b11;

@@ -26,8 +26,8 @@
 
 use crate::ServeError;
 use pcf_core::{
-    pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc, solve_pcf_ls, solve_pcf_tf,
-    tunnel_instance, FailureModel, Instance, RobustOptions,
+    pcf_cls_pipeline, pcf_ls_instance, scale_to_mlu, solve_ffc_seeded, solve_pcf_ls_seeded,
+    solve_pcf_tf_seeded, tunnel_instance, CutPool, FailureModel, Instance, RobustOptions,
 };
 use pcf_replay::SharedFactorCache;
 use pcf_topology::Topology;
@@ -131,11 +131,15 @@ pub struct PlanEpoch {
     /// served demand, objective) — generation-independent, so identical
     /// re-solves produce identical digests.
     pub plan_digest: u64,
+    /// Cuts seeded into this epoch's first master from the previous
+    /// epoch's [`CutPool`] (0 for a cold solve).
+    pub warm_cuts: usize,
 }
 
 impl PlanSpec {
     /// Solves the spec into a fresh epoch at `gen`, with the demand
-    /// matrix scaled by `scale` and drawn from `seed`.
+    /// matrix scaled by `scale` and drawn from `seed`. Cold solve: no cut
+    /// pool in, none out (see [`PlanSpec::solve_epoch_seeded`]).
     pub fn solve_epoch(
         &self,
         gen: u64,
@@ -143,6 +147,25 @@ impl PlanSpec {
         seed: u64,
         cache_capacity: usize,
     ) -> Result<PlanEpoch, ServeError> {
+        self.solve_epoch_seeded(gen, scale, seed, cache_capacity, None)
+            .map(|(epoch, _)| epoch)
+    }
+
+    /// [`PlanSpec::solve_epoch`] with an epoch-to-epoch warm start: `prev`
+    /// carries the scenario cuts of the previous epoch's solve, and the
+    /// returned pool carries this epoch's cuts for the next one. Re-solves
+    /// vary only the demand scale and gravity seed, so the instance shape
+    /// is stable and the binding scenarios transfer; a shape mismatch (or
+    /// the PCF-CLS pipeline, whose flow-stage instance varies) falls back
+    /// to a cold solve and returns `None`.
+    pub fn solve_epoch_seeded(
+        &self,
+        gen: u64,
+        scale: f64,
+        seed: u64,
+        cache_capacity: usize,
+        prev: Option<&CutPool>,
+    ) -> Result<(PlanEpoch, Option<CutPool>), ServeError> {
         if !(scale.is_finite() && scale > 0.0) {
             return Err(ServeError::BadSpec(format!(
                 "demand scale must be positive and finite, got {scale}"
@@ -156,25 +179,28 @@ impl PlanSpec {
         }
         tm.scale(scale);
         let fm = FailureModel::links(self.f);
-        let (inst, sol) = match self.scheme {
+        let (inst, sol, pool) = match self.scheme {
             SchemeKind::Ffc => {
                 let inst = tunnel_instance(&self.topo, &tm, self.tunnels);
-                let sol = solve_ffc(&inst, &fm, &self.opts);
-                (inst, sol)
+                let (sol, pool) = solve_ffc_seeded(&inst, &fm, &self.opts, prev)?;
+                (inst, sol, Some(pool))
             }
             SchemeKind::PcfTf => {
                 let inst = tunnel_instance(&self.topo, &tm, self.tunnels);
-                let sol = solve_pcf_tf(&inst, &fm, &self.opts);
-                (inst, sol)
+                let (sol, pool) = solve_pcf_tf_seeded(&inst, &fm, &self.opts, prev)?;
+                (inst, sol, Some(pool))
             }
             SchemeKind::PcfLs => {
                 let inst = pcf_ls_instance(&self.topo, &tm, self.tunnels);
-                let sol = solve_pcf_ls(&inst, &fm, &self.opts);
-                (inst, sol)
+                let (sol, pool) = solve_pcf_ls_seeded(&inst, &fm, &self.opts, prev)?;
+                (inst, sol, Some(pool))
             }
             SchemeKind::PcfCls => {
+                // The CLS pipeline derives its final instance from the
+                // flow decomposition, so its shape shifts between epochs;
+                // always solve cold.
                 let cls = pcf_cls_pipeline(&self.topo, &tm, self.tunnels, &fm, &self.opts);
-                (cls.instance, cls.solution)
+                (cls.instance, cls.solution, None)
             }
         };
         let served: Vec<f64> = inst
@@ -182,7 +208,7 @@ impl PlanSpec {
             .map(|p| sol.z[p.0] * inst.demand(p))
             .collect();
         let plan_digest = plan_digest(sol.objective, &sol.a, &sol.b, &sol.z, &served);
-        Ok(PlanEpoch {
+        let epoch = PlanEpoch {
             gen,
             inst,
             a: sol.a,
@@ -197,7 +223,9 @@ impl PlanSpec {
             seed,
             cache: SharedFactorCache::new(cache_capacity),
             plan_digest,
-        })
+            warm_cuts: sol.seeded_cuts,
+        };
+        Ok((epoch, pool))
     }
 }
 
@@ -247,11 +275,13 @@ impl PlanCell {
     /// The published generation — the lock-free fast path. Readers
     /// compare this against their cached epoch's `gen` and only touch the
     /// slot mutex on a mismatch.
+    // audit:hot
     pub fn generation(&self) -> u64 {
         self.gen.load(Ordering::Acquire)
     }
 
     /// Clones the current epoch `Arc` (takes the slot mutex briefly).
+    // audit:hot
     pub fn current(&self) -> Arc<PlanEpoch> {
         Arc::clone(&self.slot.lock().unwrap_or_else(|p| p.into_inner()))
     }
@@ -259,6 +289,7 @@ impl PlanCell {
     /// Publishes a new epoch. The slot is updated before the generation
     /// becomes visible, so `generation()`/`current()` can never observe a
     /// generation without its epoch.
+    // audit:hot
     pub fn swap(&self, epoch: Arc<PlanEpoch>) {
         let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
         let gen = epoch.gen;
@@ -301,6 +332,45 @@ mod tests {
         assert_ne!(epoch.plan_digest, scaled.plan_digest);
         assert!(spec.solve_epoch(3, 0.0, 1, 64).is_err());
         assert!(spec.solve_epoch(3, f64::NAN, 1, 64).is_err());
+    }
+
+    #[test]
+    fn seeded_epoch_matches_cold_solve() {
+        let spec = abilene_spec();
+        let (first, pool) = spec.solve_epoch_seeded(1, 1.0, 1, 16, None).unwrap();
+        assert_eq!(first.warm_cuts, 0);
+        let pool = pool.expect("robust schemes export a pool");
+        assert!(!pool.is_empty());
+
+        // Warm re-solve at a new scale: same plan as the cold solve of the
+        // same inputs, and the seeding is visible in warm_cuts.
+        let (warm, next) = spec
+            .solve_epoch_seeded(2, 0.8, 1, 16, Some(&pool))
+            .unwrap();
+        assert_eq!(warm.warm_cuts, pool.len());
+        assert!(next.is_some());
+        let cold = spec.solve_epoch(2, 0.8, 1, 16).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn mismatched_pool_falls_back_to_cold() {
+        let spec = abilene_spec();
+        let (_, pool) = spec.solve_epoch_seeded(1, 1.0, 1, 16, None).unwrap();
+        let pool = pool.unwrap();
+        // A spec with a different tunnel count yields a different instance
+        // shape; the pool must be ignored, not misapplied.
+        let other = PlanSpec {
+            tunnels: 2,
+            ..abilene_spec()
+        };
+        let (epoch, _) = other.solve_epoch_seeded(1, 1.0, 1, 16, Some(&pool)).unwrap();
+        assert_eq!(epoch.warm_cuts, 0);
     }
 
     #[test]

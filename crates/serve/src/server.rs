@@ -158,6 +158,9 @@ impl Server {
     }
 
     fn solver_loop(&self, rx: mpsc::Receiver<UpdateCmd>) {
+        // The previous epoch's cut pool, carried across re-solves so each
+        // epoch's master starts from the scenarios that bound the last one.
+        let mut pool: Option<pcf_core::CutPool> = None;
         loop {
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(cmd) => {
@@ -165,11 +168,20 @@ impl Server {
                     let gen = current.gen + 1;
                     let scale = cmd.scale.unwrap_or(current.scale);
                     let seed = cmd.seed.unwrap_or(current.seed);
-                    match self
-                        .spec
-                        .solve_epoch(gen, scale, seed, self.opts.cache_capacity)
-                    {
-                        Ok(epoch) => {
+                    match self.spec.solve_epoch_seeded(
+                        gen,
+                        scale,
+                        seed,
+                        self.opts.cache_capacity,
+                        pool.as_ref(),
+                    ) {
+                        Ok((epoch, next_pool)) => {
+                            if epoch.warm_cuts > 0 {
+                                Telemetry::bump(&self.telemetry.warm_epochs);
+                            } else {
+                                Telemetry::bump(&self.telemetry.cold_epochs);
+                            }
+                            pool = next_pool;
                             self.cell.swap(Arc::new(epoch));
                             Telemetry::bump(&self.telemetry.swaps);
                         }

@@ -66,13 +66,16 @@ impl Default for AtomicHistogram {
 
 impl AtomicHistogram {
     /// Records one sample.
+    // audit:hot
     pub fn record(&self, ns: u64) {
         let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        // audit:allow(atomics-discipline, independent bucket counters; snapshots tolerate torn reads) audit:allow(panic-reachability, bucket is .min(BUCKETS-1)-clamped so the index is always in range)
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // audit:allow(atomics-discipline, independent bucket counters; snapshots tolerate torn reads)
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
@@ -83,6 +86,7 @@ impl AtomicHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // audit:allow(atomics-discipline, independent bucket counters; snapshots tolerate torn reads)
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
@@ -127,6 +131,10 @@ pub struct Telemetry {
     pub swaps: AtomicU64,
     /// Background re-solves that failed (plan kept at the old epoch).
     pub solve_failures: AtomicU64,
+    /// Re-solves warm-started from the previous epoch's cut pool.
+    pub warm_epochs: AtomicU64,
+    /// Re-solves that ran cold (no pool yet, or a shape mismatch).
+    pub cold_epochs: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
     /// Lines that failed to parse or named an unknown command.
@@ -142,19 +150,24 @@ pub struct Telemetry {
 
 impl Telemetry {
     /// Relaxed increment of one counter.
+    // audit:hot
     pub fn bump(counter: &AtomicU64) {
+        // audit:allow(atomics-discipline, monotonic telemetry counter; no data is published through it)
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a ladder-stage outcome (0 normal, 1 rescaled, 2 shed,
     /// 3 failed).
+    // audit:hot
     pub fn record_stage(&self, code: u8) {
+        // audit:allow(atomics-discipline, monotonic telemetry counter; no data is published through it) audit:allow(panic-reachability, index is .min(3)-clamped to the fixed array size)
         self.degrade[(code as usize).min(3)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshots everything into a report (counters are individually
     /// accurate; the set is not mutually atomic — fine for telemetry).
     pub fn snapshot(&self, gen: u64, plan_digest: u64, cache: CacheStats) -> ServeReport {
+        // audit:allow(atomics-discipline, monotonic telemetry counters; no data is published through them)
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServeReport {
             gen,
@@ -165,6 +178,8 @@ impl Telemetry {
             rejected: load(&self.rejected),
             swaps: load(&self.swaps),
             solve_failures: load(&self.solve_failures),
+            warm_epochs: load(&self.warm_epochs),
+            cold_epochs: load(&self.cold_epochs),
             connections: load(&self.connections),
             protocol_errors: load(&self.protocol_errors),
             degrade: [
@@ -201,6 +216,10 @@ pub struct ServeReport {
     pub swaps: u64,
     /// Failed background re-solves.
     pub solve_failures: u64,
+    /// Re-solves warm-started from the previous epoch's cut pool.
+    pub warm_epochs: u64,
+    /// Re-solves run cold (no pool yet, or a shape mismatch).
+    pub cold_epochs: u64,
     /// Connections accepted.
     pub connections: u64,
     /// Malformed or unknown commands.
@@ -225,6 +244,7 @@ impl ServeReport {
         format!(
             "{{\"gen\":{},\"plan_digest\":\"{:016x}\",\"queries\":{},\"events\":{},\
              \"admitted\":{},\"rejected\":{},\"swaps\":{},\"solve_failures\":{},\
+             \"warm_epochs\":{},\"cold_epochs\":{},\
              \"connections\":{},\"protocol_errors\":{},\
              \"degrade\":{{\"normal\":{},\"rescaled\":{},\"shed\":{},\"failed\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"errors\":{}}},\
@@ -237,6 +257,8 @@ impl ServeReport {
             self.rejected,
             self.swaps,
             self.solve_failures,
+            self.warm_epochs,
+            self.cold_epochs,
             self.connections,
             self.protocol_errors,
             self.degrade[0],
@@ -263,7 +285,7 @@ impl ServeReport {
         format!(
             "{{\"gen\":{},\"plan_digest\":\"{:016x}\",\"queries\":{},\"events\":{},\
              \"admitted\":{},\"rejected\":{},\"swaps\":{},\"solve_failures\":{},\
-             \"protocol_errors\":{},\
+             \"warm_epochs\":{},\"cold_epochs\":{},\"protocol_errors\":{},\
              \"degrade\":{{\"normal\":{},\"rescaled\":{},\"shed\":{},\"failed\":{}}}}}",
             self.gen,
             self.plan_digest,
@@ -273,6 +295,8 @@ impl ServeReport {
             self.rejected,
             self.swaps,
             self.solve_failures,
+            self.warm_epochs,
+            self.cold_epochs,
             self.protocol_errors,
             self.degrade[0],
             self.degrade[1],

@@ -120,6 +120,7 @@ impl Link {
         } else if n == self.v {
             self.u
         } else {
+            // audit:allow(no-panic-paths, documented contract; callers pass endpoints read from this link's own adjacency)
             panic!("node {n} is not an endpoint of link {self:?}");
         }
     }
@@ -304,6 +305,7 @@ impl Topology {
         } else if from == link.v {
             l.backward()
         } else {
+            // audit:allow(no-panic-paths, documented contract; routing callers pass link-node pairs read from this topology's own adjacency) audit:allow(panic-reachability, same invariant: adjacency only yields incident links)
             panic!("node {from} is not an endpoint of link {l}");
         }
     }
@@ -401,6 +403,7 @@ impl Topology {
                     if let Some(&(p, _, _)) = stack.last() {
                         low[p.index()] = low[p.index()].min(low[u.index()]);
                         if low[u.index()] > disc[p.index()] {
+                            // audit:allow(no-panic-paths, Tarjan invariant; a frame with a predecessor on the stack was pushed with its entering link)
                             bridges.push(parent.expect("non-root frame has a parent link"));
                         }
                     }

@@ -73,17 +73,25 @@ fn seed_for(name: &str) -> u64 {
     h
 }
 
-/// Builds the named topology ([`TABLE3`] or [`EXTRAS`]).
-///
-/// # Panics
-/// Panics if `name` is not one of [`TABLE3`] or [`EXTRAS`].
-pub fn build(name: &str) -> Topology {
+/// Builds the named topology ([`TABLE3`] or [`EXTRAS`]), or `None` for an
+/// unknown name. Use this from request-handling code where the name comes
+/// from outside.
+pub fn try_build(name: &str) -> Option<Topology> {
     let &(_, n, m) = TABLE3
         .iter()
         .chain(EXTRAS.iter())
-        .find(|&&(t, _, _)| t == name)
-        .unwrap_or_else(|| panic!("unknown zoo topology {name:?}"));
-    synthetic(name, n, m)
+        .find(|&&(t, _, _)| t == name)?;
+    Some(synthetic(name, n, m))
+}
+
+/// Builds the named topology ([`TABLE3`] or [`EXTRAS`]).
+///
+/// # Panics
+/// Panics if `name` is not one of [`TABLE3`] or [`EXTRAS`]; use
+/// [`try_build`] when the name is untrusted.
+pub fn build(name: &str) -> Topology {
+    // audit:allow(no-panic-paths, documented contract; fallible path is try_build, and every in-tree caller passes a literal table name)
+    try_build(name).unwrap_or_else(|| panic!("unknown zoo topology {name:?}"))
 }
 
 /// Builds all 21 evaluation topologies, smallest link count first.

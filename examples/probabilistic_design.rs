@@ -58,6 +58,7 @@ fn main() {
     //    variable").
     let target = all1.objective * 1.25;
     let aug = augment_capacity(&inst, &FailureModel::links(1), target, |_| 1.0, &opts)
+        .expect("augmentation LP solves")
         .expect("augmentation converges");
     let upgraded: Vec<_> = topo
         .links()
