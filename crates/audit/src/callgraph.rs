@@ -458,7 +458,10 @@ mod tests {
     #[test]
     fn free_calls_prefer_the_same_file() {
         let files = vec![
-            analyze("crates/x/src/a.rs", "fn caller() { helper(); }\nfn helper() {}\n"),
+            analyze(
+                "crates/x/src/a.rs",
+                "fn caller() { helper(); }\nfn helper() {}\n",
+            ),
             analyze("crates/y/src/b.rs", "fn helper() { panic!(\"other\"); }\n"),
         ];
         let g = CallGraph::build(&files);

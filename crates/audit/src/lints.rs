@@ -362,7 +362,11 @@ pub const HOT_ENTRIES: &[(&str, Option<&str>, &str)] = &[
     ("crates/core/src/degrade.rs", None, "degrade_routing"),
     ("crates/core/src/degrade.rs", None, "degrade_fallback"),
     ("crates/replay/src/engine.rs", Some("ReplayEngine"), "apply"),
-    ("crates/replay/src/engine.rs", Some("ReplayEngine"), "realize"),
+    (
+        "crates/replay/src/engine.rs",
+        Some("ReplayEngine"),
+        "realize",
+    ),
     (
         "crates/replay/src/engine.rs",
         Some("ReplayEngine"),
@@ -426,14 +430,7 @@ const ALLOC_METHODS: &[&str] = &[
 /// allocation: `Vec::new` is lazily allocating on first push, and a hot
 /// function has no business constructing one either way).
 const ALLOC_TYPES: &[&str] = &[
-    "Vec",
-    "VecDeque",
-    "Box",
-    "String",
-    "BTreeMap",
-    "BTreeSet",
-    "HashMap",
-    "HashSet",
+    "Vec", "VecDeque", "Box", "String", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
 ];
 
 /// Allocating macros.
@@ -543,10 +540,7 @@ fn panic_reachability(
                 continue;
             }
             for &line in &f.index_lines {
-                if file
-                    .scanned
-                    .allowed(Lint::PanicReachability.name(), line)
-                {
+                if file.scanned.allowed(Lint::PanicReachability.name(), line) {
                     continue;
                 }
                 findings.push(Finding::at(
@@ -595,10 +589,7 @@ fn hot_path_alloc(files: &[AnalyzedFile], graph: &CallGraph, findings: &mut Vec<
                     _ => None,
                 };
                 let Some(what) = hit else { continue };
-                if nfile
-                    .scanned
-                    .allowed(Lint::HotPathAlloc.name(), call.line)
-                {
+                if nfile.scanned.allowed(Lint::HotPathAlloc.name(), call.line) {
                     continue;
                 }
                 let key = (nfile.rel.clone(), call.line);
@@ -662,9 +653,7 @@ fn atomics_discipline(files: &[AnalyzedFile], findings: &mut Vec<Finding>) {
                 let orderings = extract_orderings(args);
                 let field = receiver.field_name().map(str::to_string);
                 let is_atomic = !orderings.is_empty()
-                    || field
-                        .as_deref()
-                        .is_some_and(|f| atomic_fields.contains(f));
+                    || field.as_deref().is_some_and(|f| atomic_fields.contains(f));
                 if !is_atomic {
                     continue; // Vec::swap, slice ops, non-atomic loads
                 }
@@ -862,7 +851,8 @@ fn lock_scan(file: &AnalyzedFile, f: &crate::parse::FnItem, findings: &mut Vec<F
                     continue;
                 }
                 'd' if raw[i..].starts_with("drop(")
-                    && (i == 0 || !(bytes[i - 1] as char).is_alphanumeric() && bytes[i - 1] != b'_') =>
+                    && (i == 0
+                        || !(bytes[i - 1] as char).is_alphanumeric() && bytes[i - 1] != b'_') =>
                 {
                     let inner: String = raw[i + "drop(".len()..]
                         .chars()

@@ -552,12 +552,7 @@ impl Parser<'_> {
     fn parse_fn(&mut self) {
         self.skip_ws();
         // `fn(` is a function-pointer type, not an item.
-        if !self
-            .chars
-            .get(self.i)
-            .copied()
-            .is_some_and(is_ident_start)
-        {
+        if !self.chars.get(self.i).copied().is_some_and(is_ident_start) {
             return;
         }
         let sig_line = self.line;
@@ -679,9 +674,7 @@ impl Parser<'_> {
                     ty.push(if c == '\n' { ' ' } else { c });
                     self.i += 1;
                 }
-                self.out.fns[fn_idx]
-                    .locals
-                    .insert(name, simplify_type(&ty));
+                self.out.fns[fn_idx].locals.insert(name, simplify_type(&ty));
             }
             Some(&'=') => {
                 // Peek (without consuming) for a constructor-shaped
@@ -728,7 +721,8 @@ impl Parser<'_> {
                 }
             }
             Some(&'(') => Some(self.classify_call(word, word_start)),
-            Some(&':') if self.chars.get(j + 1) == Some(&':') && self.chars.get(j + 2) == Some(&'<') =>
+            Some(&':')
+                if self.chars.get(j + 1) == Some(&':') && self.chars.get(j + 2) == Some(&'<') =>
             {
                 // Turbofish: `name::<T>(..)`.
                 let mut depth = 0usize;
@@ -904,9 +898,7 @@ fn split_top_level_for(header: &str) -> Option<(&str, &str)> {
                 && header[i..].starts_with("for")
                 && i > 0
                 && bytes[i - 1].is_ascii_whitespace()
-                && bytes
-                    .get(i + 3)
-                    .is_some_and(|b| b.is_ascii_whitespace()) =>
+                && bytes.get(i + 3).is_some_and(|b| b.is_ascii_whitespace()) =>
             {
                 return Some((&header[..i], &header[i + 3..]));
             }
@@ -1250,7 +1242,9 @@ mod tests {
 
     #[test]
     fn return_types_are_simplified() {
-        let p = parse("fn f() -> Result<Routing, RealizeError> { g() }\nfn g() -> &'static str { \"\" }\n");
+        let p = parse(
+            "fn f() -> Result<Routing, RealizeError> { g() }\nfn g() -> &'static str { \"\" }\n",
+        );
         assert_eq!(p.fns[0].ret.as_deref(), Some("Routing"));
         assert_eq!(p.fns[1].ret.as_deref(), Some("str"));
     }
@@ -1289,6 +1283,9 @@ mod tests {
         assert_eq!(simplify_type("Result<Vec<f64>, LpError>"), "Vec");
         assert_eq!(simplify_type("Box<dyn Factor>"), "Factor");
         assert_eq!(simplify_type("&'a ReplayEngine<'a>"), "ReplayEngine");
-        assert_eq!(simplify_type("std::sync::Mutex<Arc<PlanEpoch>>"), "PlanEpoch");
+        assert_eq!(
+            simplify_type("std::sync::Mutex<Arc<PlanEpoch>>"),
+            "PlanEpoch"
+        );
     }
 }

@@ -265,7 +265,7 @@ fn injected_nested_lock_fails_the_gate() {
                let g2 = b.lock();\n\
                g1.map(|x| *x).unwrap_or(0) + g2.map(|x| *x).unwrap_or(0)\n\
                }\n"
-            .to_string(),
+        .to_string(),
     });
     let cmp = compare(&audit_files(&files), &checked_in_baseline(&root));
     assert!(!cmp.pass(), "gate let a nested lock through");

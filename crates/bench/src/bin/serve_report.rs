@@ -53,6 +53,7 @@ fn sprint_spec() -> PlanSpec {
         max_pairs: 200,
         tol: 1e-6,
         opts: pcf_core::RobustOptions::default(),
+        srlgs: Vec::new(),
     }
 }
 

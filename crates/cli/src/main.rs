@@ -7,6 +7,7 @@
 //! pcf replay   --topology Sprint --f 2 --events 1000      # stream link churn
 //! pcf augment  --topology IBM --f 1 --target 1.2          # capacity to reach z*
 //! pcf topology --topology Deltacom                        # inspect a topology
+//! pcf adversary --topology Abilene --f 1                  # worst-case campaign
 //! pcf serve    --topology Abilene --scheme ffc --port 0   # online serving daemon
 //! pcf audit                                               # static analysis gate
 //! ```
@@ -26,7 +27,10 @@ use pcf_core::{
     solve_pcf_tf, solve_r3, tunnel_instance, FailureModel, Instance, RobustOptions, RobustSolution,
 };
 use pcf_lp::{EngineKind, Pricing, SimplexOptions};
-use pcf_replay::{replay_batch, EventTrace, FaultInjector, ReplayOptions};
+use pcf_replay::{
+    replay_batch, run_campaign, CampaignOptions, CampaignPlan, EventTrace, FaultInjector,
+    ReplayOptions,
+};
 use pcf_topology::Topology;
 use pcf_traffic::{gravity, TrafficMatrix};
 
@@ -55,6 +59,14 @@ const FLAGS: &[&str] = &[
     "host",
     "port",
     "drive",
+    "steps",
+    "srlg",
+    "srlg-size",
+    "srlg-count",
+    "degrade-permille",
+    "max-down",
+    "max-conns",
+    "idle-ms",
 ];
 
 const SWITCHES: &[&str] = &["fail-fast"];
@@ -88,6 +100,8 @@ fn usage() {
          \x20 topology  print a topology summary\n\
          \x20 serve     solve, then serve the plan over TCP (line-delimited JSON;\n\
          \x20           events, realization/utilization queries, admission control)\n\
+         \x20 adversary greedy worst-case campaign: per-scheme throughput-retention\n\
+         \x20           curves under SRLG/node/link/degradation events\n\
          \x20 audit     run the in-tree static-analysis gate (see DESIGN.md §9)\n\
          \n\
          flags:\n\
@@ -116,10 +130,23 @@ fn usage() {
          \x20                     degradation ladder beyond-budget events may fall\n\
          \x20                     (default off; see DESIGN.md \u{a7}10)\n\
          \x20 --inject <kind>     (replay) adversarial traces instead of flaps:\n\
-         \x20                     bursts (beyond-budget) | wobble (capacity) | chaos (both)\n\
+         \x20                     bursts (beyond-budget) | wobble (capacity) | chaos (both) |\n\
+         \x20                     srlg (correlated group bursts; honors --srlg* flags) |\n\
+         \x20                     storm (partial-capacity degradation squeezes)\n\
          \x20 --fail-fast         (replay) stop each trace at its first violation\n\
+         \x20 --steps <n>         (adversary) adversarial events to pick     (default 4)\n\
+         \x20 --srlg <path>       (adversary/replay/serve) SRLG sidecar file (`group e0 e1\n\
+         \x20                     ...` lines); default synthesizes groups from the topology\n\
+         \x20 --srlg-size <n>     (adversary/replay) links per synthetic group (default 2)\n\
+         \x20 --srlg-count <n>    (adversary/replay) synthetic groups          (default 4)\n\
+         \x20 --degrade-permille <p> (adversary/replay) partial-capacity level (default 500)\n\
+         \x20 --max-down <n>      (adversary) concurrent dead-link budget    (default f+2)\n\
          \x20 --host <ip>         (serve) bind address                     (default 127.0.0.1)\n\
          \x20 --port <n>          (serve) bind port; 0 picks a free one    (default 7474)\n\
+         \x20 --max-conns <n>     (serve) concurrent-connection cap; extra clients get\n\
+         \x20                     a busy reject; 0 = unlimited             (default 64)\n\
+         \x20 --idle-ms <n>       (serve) reap connections idle this long; 0 = never\n\
+         \x20                     (default 0)\n\
          \x20 --drive <path>      (serve) run a command script against the server,\n\
          \x20                     then shut down; exit 1 on protocol violations\n\
          \n\
@@ -232,12 +259,30 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 }
                 (None, inject) => {
                     if let Some(kind) = inject {
-                        if !["bursts", "wobble", "chaos"].contains(&kind) {
+                        if !["bursts", "wobble", "chaos", "srlg", "storm"].contains(&kind) {
                             return Err(Box::new(ArgError(format!(
-                                "--inject: expected bursts | wobble | chaos, got {kind:?}"
+                                "--inject: expected bursts | wobble | chaos | srlg | storm, \
+                                 got {kind:?}"
                             ))));
                         }
                     }
+                    let groups = if inject == Some("srlg") {
+                        match args.get("srlg") {
+                            Some(path) => {
+                                let text = std::fs::read_to_string(path)?;
+                                pcf_topology::SrlgSet::parse_strict(&text, &topo)?.link_groups()
+                            }
+                            None => {
+                                let size = args.get_or("srlg-size", 2usize)?;
+                                let count = args.get_or("srlg-count", 4usize)?;
+                                pcf_topology::SrlgSet::synthetic(&topo, size, count, seed)
+                                    .link_groups()
+                            }
+                        }
+                    } else {
+                        Vec::new()
+                    };
+                    let min_permille = args.get_or("degrade-permille", 500u32)?;
                     let events = args.get_or("events", 1000usize)?;
                     let n = args.get_or("traces", 1usize)?;
                     (0..n as u64)
@@ -253,6 +298,14 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                                 Some("wobble") => {
                                     FaultInjector::new(s).capacity_wobble(&topo, events, 500)
                                 }
+                                Some("srlg") => {
+                                    EventTrace::srlg_bursts(&groups, events.div_ceil(2), s)
+                                }
+                                Some("storm") => FaultInjector::new(s).degradation_storm(
+                                    &topo,
+                                    events,
+                                    min_permille,
+                                ),
                                 _ => FaultInjector::new(s).chaos(&topo, events, f),
                             }
                         })
@@ -338,6 +391,13 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     "--degrade: expected off | rescale | shed, got {s:?}"
                 )))?,
             };
+            let srlgs = match args.get("srlg") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    pcf_topology::SrlgSet::parse_strict(&text, &topo)?.link_groups()
+                }
+                None => Vec::new(),
+            };
             let spec = pcf_serve::PlanSpec {
                 topo: topo.clone(),
                 scheme,
@@ -348,10 +408,13 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 max_pairs: args.get_or("max-pairs", 200usize)?,
                 tol: 1e-6,
                 opts: robust_options(&args)?,
+                srlgs,
             };
             let opts = pcf_serve::ServeOptions {
                 cache_capacity: args.get_or("cache", 1024usize)?,
                 degrade,
+                max_conns: args.get_or("max-conns", 64usize)?,
+                idle_timeout_ms: args.get_or("idle-ms", 0u64)?,
                 ..pcf_serve::ServeOptions::default()
             };
             let host = args.get("host").unwrap_or("127.0.0.1");
@@ -397,6 +460,111 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             Ok(())
+        }
+        "adversary" => {
+            let f = args.get_or("f", 1usize)?;
+            let k = args.get_or("tunnels", 3usize)?;
+            let tm = load_traffic(&args, &topo)?;
+            let fm = FailureModel::links(f);
+            let ropts = robust_options(&args)?;
+            let groups = match args.get("srlg") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    pcf_topology::SrlgSet::parse_strict(&text, &topo)?.link_groups()
+                }
+                None => {
+                    let size = args.get_or("srlg-size", 2usize)?;
+                    let count = args.get_or("srlg-count", 4usize)?;
+                    let seed = args.get_or("seed", 1u64)?;
+                    pcf_topology::SrlgSet::synthetic(&topo, size, count, seed).link_groups()
+                }
+            };
+            let copts = CampaignOptions {
+                steps: args.get_or("steps", 4usize)?,
+                groups,
+                degrade_permille: args.get_or("degrade-permille", 500u32)?,
+                max_down: args.get_or("max-down", f + 2)?,
+                tol: 1e-6,
+            };
+            // All three schemes solve against the same traffic and link
+            // budget; FFC and PCF-TF share the tunnel-only instance.
+            let tunnel_inst = tunnel_instance(&topo, &tm, k);
+            let ffc = solve_ffc(&tunnel_inst, &fm, &ropts);
+            let tf = solve_pcf_tf(&tunnel_inst, &fm, &ropts);
+            let ls_inst = pcf_ls_instance(&topo, &tm, k);
+            let ls = solve_pcf_ls(&ls_inst, &fm, &ropts);
+            let served_of = |inst: &Instance, sol: &RobustSolution| -> Vec<f64> {
+                inst.pair_ids()
+                    .map(|p| sol.z[p.0] * inst.demand(p))
+                    .collect()
+            };
+            let ffc_served = served_of(&tunnel_inst, &ffc);
+            let tf_served = served_of(&tunnel_inst, &tf);
+            let ls_served = served_of(&ls_inst, &ls);
+            let plans = [
+                CampaignPlan {
+                    scheme: "ffc".into(),
+                    inst: &tunnel_inst,
+                    a: &ffc.a,
+                    b: &ffc.b,
+                    served: &ffc_served,
+                },
+                CampaignPlan {
+                    scheme: "pcf-tf".into(),
+                    inst: &tunnel_inst,
+                    a: &tf.a,
+                    b: &tf.b,
+                    served: &tf_served,
+                },
+                CampaignPlan {
+                    scheme: "pcf-ls".into(),
+                    inst: &ls_inst,
+                    a: &ls.a,
+                    b: &ls.b,
+                    served: &ls_served,
+                },
+            ];
+            let rep = run_campaign(&plans, &copts);
+            println!(
+                "adversary on {} (f={f}, {} srlg groups, {} steps, budget {} dead):",
+                topo.name(),
+                copts.groups.len(),
+                copts.steps,
+                copts.max_down
+            );
+            for c in &rep.curves {
+                println!(
+                    "  {:7} admitted {:9.4} -> retained {:9.4} ({:5.1}%)",
+                    c.scheme,
+                    c.admitted,
+                    c.retained(),
+                    100.0 * c.retained_fraction()
+                );
+                for s in &c.steps {
+                    println!(
+                        "    {:16} delivered {:9.4} shed {:9.4} [{}]",
+                        s.event,
+                        s.delivered,
+                        s.shed,
+                        s.stage.name()
+                    );
+                }
+            }
+            println!("  digest {:016x}", rep.digest());
+            if let Some(path) = args.get("json") {
+                std::fs::write(path, rep.to_json())?;
+                println!("  report written to {path}");
+            }
+            match rep.separation_ok() {
+                Some(true) => {
+                    println!("  separation: pcf-ls retained > ffc retained -- OK");
+                    Ok(())
+                }
+                verdict => {
+                    println!("  separation VIOLATED ({verdict:?}): pcf-ls did not beat ffc");
+                    std::process::exit(1);
+                }
+            }
         }
         "augment" => {
             let f = args.get_or("f", 1usize)?;

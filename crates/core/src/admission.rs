@@ -134,6 +134,12 @@ pub fn availability_under(
 /// availability non-monotone in the failure set (an extra failure can
 /// *activate* a protection sequence), so the minimum need not sit at
 /// cardinality exactly `f`.
+///
+/// For [`FailureModel::Structured`] the result is a conservative *lower
+/// bound* rather than the exact minimum (per-budget worst losses plus a
+/// linearized degradation loss are summed; subadditivity makes that safe),
+/// and `None` is returned when the pair has any conditional LS — see the
+/// comment in the match arm.
 pub fn integral_worst_case(
     inst: &Instance,
     p: PairId,
@@ -179,6 +185,76 @@ pub fn integral_worst_case(
                     best.witness = scenario.clone();
                 }
             }
+            best.evaluated = evaluated;
+            return Some(best);
+        }
+        FailureModel::Structured {
+            budgets,
+            degradation,
+        } => {
+            // Conditional LSs make availability non-additive across the
+            // conjunctive budgets (one budget's failures can activate or
+            // deactivate protection another budget's loss was computed
+            // against), so summing per-budget worst losses would not be a
+            // bound in either direction. Stay conservative: report "cannot
+            // enumerate" and let the caller fall back to the relaxed bound
+            // (which is a true lower bound by construction).
+            let conditional = inst
+                .lss_of(p)
+                .iter()
+                .chain(inst.segments_of(p))
+                .any(|&q| !matches!(inst.ls(q).condition, Condition::Always));
+            if conditional {
+                return None;
+            }
+            // With Always-only conditions, availability = const + Σ_alive a:
+            // the loss of a failure set is a coverage function, hence
+            // subadditive, and summing each budget's exact worst loss
+            // lower-bounds the joint availability (conservative-safe).
+            let base = best.available;
+            let mut remaining = max_evals;
+            let mut total_loss = 0.0;
+            let mut witness: BTreeSet<LinkId> = BTreeSet::new();
+            for bgt in budgets {
+                let sub = FailureModel::Groups {
+                    groups: bgt.groups.clone(),
+                    f: bgt.f,
+                };
+                let wc = integral_worst_case(inst, p, &sub, a, b, remaining)?;
+                evaluated += wc.evaluated;
+                remaining = remaining.saturating_sub(wc.evaluated);
+                total_loss += (base - wc.available).max(0.0);
+                witness.extend(wc.witness);
+            }
+            // Degradation loss: the linearized per-link weights
+            // w_e = Σ_{τ_l ∋ e} a_l make Σ_e w_e d_e an upper bound on the
+            // realized multiplicative loss; the box+budget LP maximum is
+            // attained greedily on the largest weights.
+            if let Some(deg) = degradation {
+                let mut w = vec![0.0f64; links];
+                let mut total_a = 0.0;
+                for &l in inst.tunnels_of(p) {
+                    total_a += a[l.0].max(0.0);
+                    for e in &inst.tunnel(l).links {
+                        w[e.index()] += a[l.0].max(0.0);
+                    }
+                }
+                let mut order: Vec<usize> = (0..links).collect();
+                order.sort_by(|&i, &j| w[j].total_cmp(&w[i]).then(i.cmp(&j)));
+                let mut deg_loss = 0.0;
+                let mut budget_left = deg.budget.unwrap_or(f64::INFINITY);
+                for e in order {
+                    if budget_left <= 0.0 || w[e] <= 0.0 {
+                        break;
+                    }
+                    let d = (1.0 - deg.floor[e]).clamp(0.0, 1.0).min(budget_left);
+                    deg_loss += w[e] * d;
+                    budget_left -= d;
+                }
+                total_loss += deg_loss.min(total_a);
+            }
+            best.available = base - total_loss;
+            best.witness = witness.into_iter().collect();
             best.evaluated = evaluated;
             return Some(best);
         }

@@ -133,14 +133,30 @@ pub struct ExtraTerm {
     pub condition: Condition,
 }
 
-/// Adds the relaxed failure polytope variables (`x_e`, group indicators) to
-/// `lp` and returns the per-link `x` variables.
+/// The adversary's failure-polytope variables: per-link failure levels
+/// `x_e ∈ [0,1]`, plus — under a degradation polytope — per-link fractional
+/// capacity drops `d_e ∈ [0, 1 − α_e]` for links with room to drop.
+pub(crate) struct PolytopeVars {
+    /// Per-link relaxed failure indicator.
+    pub xs: Vec<VarId>,
+    /// Per-link degradation drop (None when the link cannot degrade).
+    pub ds: Vec<Option<VarId>>,
+}
+
+/// Adds the relaxed failure polytope variables (`x_e`, group indicators,
+/// degradation drops) to `lp` and returns them.
+///
+/// Degradation drops enter only the tunnel rows (`y_l ≤ Σ_{e∈τ_l} x_e + d_e`):
+/// a degraded link is alive, so conditions stay functions of `x` alone, and
+/// the linear per-tunnel loss `a_l · Σ d_e` over-estimates the realized
+/// multiplicative loss `a_l (1 − Π (1 − d_e))` — the cut is conservative.
 pub(crate) fn add_failure_polytope(
     lp: &mut LpProblem,
     topo: &pcf_topology::Topology,
     fm: &FailureModel,
-) -> Result<Vec<VarId>, AdversaryError> {
+) -> Result<PolytopeVars, AdversaryError> {
     let xs: Vec<VarId> = topo.links().map(|_| lp.add_var(0.0, 1.0, 0.0)).collect();
+    let mut ds: Vec<Option<VarId>> = vec![None; topo.link_count()];
     match fm {
         FailureModel::Links { f } => {
             lp.add_le(xs.iter().map(|&x| (x, 1.0)), *f as f64);
@@ -162,13 +178,51 @@ pub(crate) fn add_failure_polytope(
                 lp.add_ge(covering, 0.0);
             }
         }
+        FailureModel::Structured {
+            budgets,
+            degradation,
+        } => {
+            // Each budget contributes its own group indicators and Σ g ≤ f
+            // row; a link's x is bounded by the union of covering groups
+            // across all budgets (x ≤ 0 for uncovered links).
+            let mut covering: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); topo.link_count()];
+            for b in budgets {
+                let gs: Vec<VarId> = b.groups.iter().map(|_| lp.add_var(0.0, 1.0, 0.0)).collect();
+                lp.add_le(gs.iter().map(|&g| (g, 1.0)), b.f as f64);
+                for (gi, group) in b.groups.iter().enumerate() {
+                    for l in group {
+                        lp.add_ge(vec![(xs[l.index()], 1.0), (gs[gi], -1.0)], 0.0);
+                        covering[l.index()].push((gs[gi], 1.0));
+                    }
+                }
+            }
+            for l in topo.links() {
+                let mut row = covering[l.index()].clone();
+                row.push((xs[l.index()], -1.0));
+                lp.add_ge(row, 0.0);
+            }
+            if let Some(deg) = degradation {
+                let mut budget_row = Vec::new();
+                for l in topo.links() {
+                    let room = (1.0 - deg.floor[l.index()]).max(0.0);
+                    if room > 0.0 {
+                        let d = lp.add_var(0.0, room, 0.0);
+                        ds[l.index()] = Some(d);
+                        budget_row.push((d, 1.0));
+                    }
+                }
+                if let Some(g) = deg.budget {
+                    lp.add_le(budget_row, g);
+                }
+            }
+        }
         FailureModel::Explicit { .. } => {
             return Err(AdversaryError::Internal(
                 "explicit scenario lists use the combinatorial adversary",
             ));
         }
     }
-    Ok(xs)
+    Ok(PolytopeVars { xs, ds })
 }
 
 /// Adds an `h` variable tied to `condition` (appendix linearization) with
@@ -234,9 +288,12 @@ pub fn worst_case_link_with_extras(
     };
     lp.set_options(opts);
 
-    let xs = add_failure_polytope(&mut lp, topo, fm)?;
+    let pv = add_failure_polytope(&mut lp, topo, fm)?;
+    let xs = &pv.xs;
 
-    // y_l per tunnel of this pair, objective +a_l.
+    // y_l per tunnel of this pair, objective +a_l. Degradation drops count
+    // toward a tunnel's loss the same way failures do (a link at fraction
+    // 1 − d contributes d of the tunnel's reservation to the loss).
     let ys: Vec<VarId> = tunnels
         .iter()
         .map(|&l| lp.add_var(0.0, 1.0, a[l.0].max(0.0)))
@@ -245,6 +302,9 @@ pub fn worst_case_link_with_extras(
         let mut row: Vec<(VarId, f64)> = vec![(*yi, 1.0)];
         for link in &inst.tunnel(l).links {
             row.push((xs[link.index()], -1.0));
+            if let Some(d) = pv.ds[link.index()] {
+                row.push((d, -1.0));
+            }
         }
         lp.add_le(row, 0.0);
     }
@@ -260,14 +320,14 @@ pub fn worst_case_link_with_extras(
     }
     let mut h_vars: Vec<(LsId, VarId)> = Vec::new();
     for (&q, &coef) in &h_coef {
-        let h = add_condition_var(&mut lp, &xs, &inst.ls(q).condition, coef);
+        let h = add_condition_var(&mut lp, xs, &inst.ls(q).condition, coef);
         h_vars.push((q, h));
     }
 
     // Extra conditioned terms (logical-flow reservations/obligations).
     let extra_vars: Vec<VarId> = extras
         .iter()
-        .map(|t| add_condition_var(&mut lp, &xs, &t.condition, t.coef))
+        .map(|t| add_condition_var(&mut lp, xs, &t.condition, t.coef))
         .collect();
 
     let sol = lp.solve().map_err(AdversaryError::Lp)?;
@@ -551,5 +611,59 @@ mod tests {
         let fm = FailureModel::Groups { groups, f: 1 };
         let wc = worst_case_link(&inst, p, &fm, &a, &[]).unwrap();
         assert!(wc.available.abs() < 1e-6, "got {}", wc.available);
+    }
+
+    #[test]
+    fn structured_composes_budgets_like_groups() {
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let p = PairId(0);
+        let mut a = vec![0.0; inst.num_tunnels()];
+        for &l in inst.tunnels_of(p) {
+            a[l.0] = 0.5;
+        }
+        // One SRLG budget per path: each budget can kill one whole path.
+        let fm = crate::failure::FailureModel::structured(vec![
+            crate::failure::GroupBudget {
+                groups: vec![vec![LinkId(0), LinkId(1)]],
+                f: 1,
+            },
+            crate::failure::GroupBudget {
+                groups: vec![vec![LinkId(2), LinkId(3)]],
+                f: 1,
+            },
+        ]);
+        let wc = worst_case_link(&inst, p, &fm, &a, &[]).unwrap();
+        assert!(wc.available.abs() < 1e-6, "got {}", wc.available);
+    }
+
+    #[test]
+    fn degradation_polytope_drains_capacity_fraction() {
+        use crate::failure::Degradation;
+        let topo = diamond();
+        let inst = InstanceBuilder::with_demands(&topo, vec![(NodeId(0), NodeId(3), 1.0)])
+            .tunnels_per_pair(2)
+            .build();
+        let p = PairId(0);
+        let mut a = vec![0.0; inst.num_tunnels()];
+        for &l in inst.tunnels_of(p) {
+            a[l.0] = 0.5;
+        }
+        // No failures, every link may sag to 80% capacity: each 2-hop
+        // tunnel loses min(1, 0.2 + 0.2) = 0.4 of its reservation.
+        let fm = FailureModel::structured(Vec::new())
+            .with_degradation(&topo, Degradation::uniform(topo.link_count(), 0.8));
+        let wc = worst_case_link(&inst, p, &fm, &a, &[]).unwrap();
+        assert!((wc.available - 0.6).abs() < 1e-6, "got {}", wc.available);
+
+        // A total drop budget of 0.2 can only hurt one (disjoint) path.
+        let fm2 = FailureModel::structured(Vec::new()).with_degradation(
+            &topo,
+            Degradation::uniform(topo.link_count(), 0.8).with_budget(0.2),
+        );
+        let wc2 = worst_case_link(&inst, p, &fm2, &a, &[]).unwrap();
+        assert!((wc2.available - 0.9).abs() < 1e-6, "got {}", wc2.available);
     }
 }

@@ -5,7 +5,146 @@
 //! node failures by imposing the budget on *group* indicators instead of
 //! individual links (§3.5).
 
-use pcf_topology::{LinkId, Topology};
+use pcf_topology::{LinkId, NodeId, Topology};
+
+/// One budgeted family of atomic failure units: up to `f` of the `groups`
+/// fail simultaneously, and a group's failure kills every link it contains.
+/// Several budgets compose conjunctively in [`FailureModel::Structured`]
+/// (e.g. "any one node AND any one additional link").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBudget {
+    /// The link groups that fail atomically under this budget.
+    pub groups: Vec<Vec<LinkId>>,
+    /// Maximum simultaneous group failures drawn from this budget.
+    pub f: usize,
+}
+
+impl GroupBudget {
+    /// A budget of independent single-link failures over the whole topology.
+    pub fn links(topo: &Topology, f: usize) -> Self {
+        GroupBudget {
+            groups: topo.links().map(|l| vec![l]).collect(),
+            f,
+        }
+    }
+
+    /// A budget of whole-node failures: one group per node containing its
+    /// incident links (§3.5 node failures).
+    pub fn nodes(topo: &Topology, f: usize) -> Self {
+        GroupBudget {
+            groups: topo
+                .nodes()
+                .map(|n| topo.incident(n).iter().map(|&(_, l)| l).collect())
+                .collect(),
+            f,
+        }
+    }
+
+    /// A budget of regional failures: each region (a set of nodes) is one
+    /// group containing every link that touches any node in the set.
+    pub fn regions(topo: &Topology, regions: &[Vec<NodeId>], f: usize) -> Self {
+        let groups = regions
+            .iter()
+            .map(|nodes| {
+                let mut ls: Vec<LinkId> = topo
+                    .links()
+                    .filter(|&l| nodes.iter().any(|&n| topo.link(l).touches(n)))
+                    .collect();
+                ls.sort_unstable_by_key(|l| l.index());
+                ls
+            })
+            .collect();
+        GroupBudget { groups, f }
+    }
+}
+
+/// A partial-capacity-degradation polytope: each link's capacity may drop to
+/// anywhere in `[floor_e · c_e, c_e]`, optionally with a global budget `g`
+/// bounding the total fractional drop `Σ_e d_e ≤ g` (where the realized
+/// capacity is `(1 − d_e) · c_e` and `d_e ∈ [0, 1 − floor_e]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Per-link lower bound `α_e ∈ [0, 1]` on the capacity fraction.
+    pub floor: Vec<f64>,
+    /// Optional budget on the total fractional drop `Σ_e d_e`.
+    pub budget: Option<f64>,
+}
+
+impl Degradation {
+    /// Uniform floor `alpha` across `link_count` links, unbudgeted.
+    pub fn uniform(link_count: usize, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        Degradation {
+            floor: vec![alpha; link_count],
+            budget: None,
+        }
+    }
+
+    /// Adds a budget on the total fractional capacity drop.
+    pub fn with_budget(mut self, g: f64) -> Self {
+        assert!(g >= 0.0);
+        self.budget = Some(g);
+        self
+    }
+
+    /// Maximum drop `1 − α_e` available on link `e`, clipped to the budget.
+    fn max_drop(&self, e: usize) -> f64 {
+        let room = (1.0 - self.floor[e]).max(0.0);
+        match self.budget {
+            Some(g) => room.min(g),
+            None => room,
+        }
+    }
+
+    /// The capacity-scale corner points used for validation: every
+    /// single-link worst drop, plus the all-floors corner when the budget
+    /// does not bind (covers the whole box). The no-degradation corner
+    /// (all ones) is implied and not returned.
+    pub fn corners(&self) -> Vec<Vec<f64>> {
+        let n = self.floor.len();
+        let mut out = Vec::new();
+        for e in 0..n {
+            let d = self.max_drop(e);
+            if d > 0.0 {
+                let mut scale = vec![1.0; n];
+                scale[e] = 1.0 - d;
+                out.push(scale);
+            }
+        }
+        let total_room: f64 = (0..n).map(|e| (1.0 - self.floor[e]).max(0.0)).sum();
+        let budget_binds = matches!(self.budget, Some(g) if g < total_room);
+        if !budget_binds && total_room > 0.0 && n > 1 {
+            out.push(self.floor.iter().map(|&a| a.clamp(0.0, 1.0)).collect());
+        }
+        out
+    }
+}
+
+/// A concrete structured scenario: which links are dead, plus the surviving
+/// capacity fraction of every link (`1.0` = undegraded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Dead-link mask.
+    pub dead: Vec<bool>,
+    /// Per-link capacity scale in `[0, 1]`.
+    pub cap_scale: Vec<f64>,
+}
+
+impl Scenario {
+    /// A scenario with failures only (no capacity degradation).
+    pub fn from_mask(dead: Vec<bool>) -> Self {
+        let n = dead.len();
+        Scenario {
+            dead,
+            cap_scale: vec![1.0; n],
+        }
+    }
+
+    /// True when no link is degraded below full capacity.
+    pub fn undegraded(&self) -> bool {
+        self.cap_scale.iter().all(|&s| s >= 1.0)
+    }
+}
 
 /// The set of failure scenarios a design must survive.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +174,17 @@ pub enum FailureModel {
         /// The scenarios to protect against (the empty scenario is implied).
         scenarios: Vec<Vec<LinkId>>,
     },
+    /// A structured uncertainty set: several independent group budgets that
+    /// compose conjunctively (e.g. SRLGs + node failures + extra links),
+    /// optionally combined with a partial-capacity-degradation polytope.
+    /// This is the general form the separation oracle dualizes over; the
+    /// other budgeted variants are special cases.
+    Structured {
+        /// Conjunctive group budgets; each contributes its own `Σ g ≤ f` row.
+        budgets: Vec<GroupBudget>,
+        /// Optional partial-capacity degradation.
+        degradation: Option<Degradation>,
+    },
 }
 
 impl FailureModel {
@@ -53,8 +203,73 @@ impl FailureModel {
         FailureModel::Groups { groups, f }
     }
 
+    /// SRLG failures: up to `f` of the given shared-risk groups fail.
+    pub fn srlgs(groups: Vec<Vec<LinkId>>, f: usize) -> Self {
+        FailureModel::Groups { groups, f }
+    }
+
+    /// Regional failures: up to `f` of the given node-set regions fail; a
+    /// region's failure kills every link touching any node in the set.
+    pub fn regional(topo: &Topology, regions: &[Vec<NodeId>], f: usize) -> Self {
+        FailureModel::Structured {
+            budgets: vec![GroupBudget::regions(topo, regions, f)],
+            degradation: None,
+        }
+    }
+
+    /// Node failures composed with an independent link budget: up to
+    /// `f_nodes` whole-node failures AND up to `f_links` additional link
+    /// failures simultaneously.
+    pub fn nodes_and_links(topo: &Topology, f_nodes: usize, f_links: usize) -> Self {
+        FailureModel::Structured {
+            budgets: vec![
+                GroupBudget::nodes(topo, f_nodes),
+                GroupBudget::links(topo, f_links),
+            ],
+            degradation: None,
+        }
+    }
+
+    /// A bare structured model from explicit budgets (no degradation).
+    pub fn structured(budgets: Vec<GroupBudget>) -> Self {
+        FailureModel::Structured {
+            budgets,
+            degradation: None,
+        }
+    }
+
+    /// Attaches a partial-capacity-degradation polytope, converting budgeted
+    /// variants to [`FailureModel::Structured`] as needed. Panics on
+    /// [`FailureModel::Explicit`], which carries concrete scenarios and has
+    /// no polytope to extend.
+    pub fn with_degradation(self, topo: &Topology, deg: Degradation) -> Self {
+        assert_eq!(deg.floor.len(), topo.link_count());
+        let budgets = match self {
+            FailureModel::Links { f } => vec![GroupBudget::links(topo, f)],
+            FailureModel::Groups { groups, f } => vec![GroupBudget { groups, f }],
+            FailureModel::Structured { budgets, .. } => budgets,
+            FailureModel::Explicit { .. } => {
+                // audit:allow(no-panic-paths, documented precondition: Explicit carries concrete scenarios and has no polytope to extend)
+                panic!("explicit scenario lists cannot carry a degradation polytope")
+            }
+        };
+        FailureModel::Structured {
+            budgets,
+            degradation: Some(deg),
+        }
+    }
+
+    /// The degradation polytope, if the model carries one.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        match self {
+            FailureModel::Structured { degradation, .. } => degradation.as_ref(),
+            _ => None,
+        }
+    }
+
     /// The failure budget `f` (for explicit lists: the largest scenario's
-    /// cardinality, which is what FFC's `f · p_st` bound consumes).
+    /// cardinality, which is what FFC's `f · p_st` bound consumes; for
+    /// structured models: the sum over the conjunctive budgets).
     pub fn budget(&self) -> usize {
         match self {
             FailureModel::Links { f } => *f,
@@ -62,6 +277,7 @@ impl FailureModel {
             FailureModel::Explicit { scenarios } => {
                 scenarios.iter().map(|s| s.len()).max().unwrap_or(0)
             }
+            FailureModel::Structured { budgets, .. } => budgets.iter().map(|b| b.f).sum(),
         }
     }
 
@@ -71,7 +287,7 @@ impl FailureModel {
         match self {
             FailureModel::Links { .. } => Some(topo.links().map(|l| vec![l]).collect()),
             FailureModel::Groups { groups, .. } => Some(groups.clone()),
-            FailureModel::Explicit { .. } => None,
+            FailureModel::Explicit { .. } | FailureModel::Structured { .. } => None,
         }
     }
 
@@ -159,6 +375,29 @@ impl FailureModel {
                 })
                 .collect();
         }
+        if let FailureModel::Structured { budgets, .. } = self {
+            // Cartesian product of each budget's worst-cardinality
+            // combinations; duplicate masks (overlapping groups across
+            // budgets) are collapsed.
+            let mut masks: Vec<Vec<bool>> = vec![vec![false; topo.link_count()]];
+            for b in budgets {
+                let sub = FailureModel::Groups {
+                    groups: b.groups.clone(),
+                    f: b.f,
+                };
+                let sub_masks = sub.enumerate_scenarios(topo);
+                let mut merged = Vec::with_capacity(masks.len() * sub_masks.len());
+                for m in &masks {
+                    for s in &sub_masks {
+                        merged.push(m.iter().zip(s).map(|(&a, &b)| a || b).collect());
+                    }
+                }
+                masks = merged;
+            }
+            masks.sort();
+            masks.dedup();
+            return masks;
+        }
         let Some(groups) = self.expansion_groups(topo) else {
             return Vec::new(); // Explicit lists were handled above
         };
@@ -197,11 +436,26 @@ impl FailureModel {
     }
 
     /// Number of worst-cardinality scenarios without materialising them.
+    /// For structured models this is the product over budgets of
+    /// `C(n_b, f_b)` — an upper bound, since overlapping groups across
+    /// budgets can collapse to the same dead-link mask.
     pub fn scenario_count(&self, topo: &Topology) -> usize {
         let n = match self {
             FailureModel::Links { .. } => topo.link_count(),
             FailureModel::Groups { groups, .. } => groups.len(),
             FailureModel::Explicit { scenarios } => return scenarios.len(),
+            FailureModel::Structured { budgets, .. } => {
+                return budgets
+                    .iter()
+                    .map(|b| {
+                        FailureModel::Groups {
+                            groups: b.groups.clone(),
+                            f: b.f,
+                        }
+                        .scenario_count(topo)
+                    })
+                    .fold(1usize, |acc, c| acc.saturating_mul(c));
+            }
         };
         let f = self.budget().min(n);
         // C(n, f), saturating.
@@ -226,11 +480,6 @@ impl FailureModel {
             all.truncate(count);
             return all;
         }
-        let Some(groups) = self.expansion_groups(topo) else {
-            return Vec::new(); // Explicit lists were handled above
-        };
-        let f = self.budget().min(groups.len());
-        let n = groups.len();
         // Simple deterministic LCG to avoid threading RNG deps here.
         let mut state = seed
             .wrapping_mul(6364136223846793005)
@@ -241,6 +490,42 @@ impl FailureModel {
                 .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
+        if let FailureModel::Structured { budgets, .. } = self {
+            // Per-budget picks composed into a joint mask; dedup on the mask
+            // itself (overlapping groups can collide across budgets).
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            let mut guard = 0usize;
+            while out.len() < count && guard < 100 * count {
+                guard += 1;
+                let mut mask = vec![false; topo.link_count()];
+                for b in budgets {
+                    let n = b.groups.len();
+                    let f = b.f.min(n);
+                    let mut pick: Vec<usize> = Vec::with_capacity(f);
+                    while pick.len() < f {
+                        let g = next() % n;
+                        if !pick.contains(&g) {
+                            pick.push(g);
+                        }
+                    }
+                    for &g in &pick {
+                        for l in &b.groups[g] {
+                            mask[l.index()] = true;
+                        }
+                    }
+                }
+                if seen.insert(mask.clone()) {
+                    out.push(mask);
+                }
+            }
+            return out;
+        }
+        let Some(groups) = self.expansion_groups(topo) else {
+            return Vec::new(); // Explicit lists were handled above
+        };
+        let f = self.budget().min(groups.len());
+        let n = groups.len();
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         let mut guard = 0usize;
@@ -264,6 +549,26 @@ impl FailureModel {
                 }
             }
             out.push(mask);
+        }
+        out
+    }
+
+    /// Enumerates concrete structured scenarios: every worst-cardinality
+    /// failure mask composed with every degradation corner point, plus the
+    /// undegraded corner. For models without a degradation polytope this is
+    /// [`FailureModel::enumerate_scenarios`] lifted into [`Scenario`].
+    pub fn enumerate_structured_scenarios(&self, topo: &Topology) -> Vec<Scenario> {
+        let masks = self.enumerate_scenarios(topo);
+        let corners: Vec<Vec<f64>> = self.degradation().map(|d| d.corners()).unwrap_or_default();
+        let mut out = Vec::with_capacity(masks.len() * (1 + corners.len()));
+        for mask in masks {
+            for c in &corners {
+                out.push(Scenario {
+                    dead: mask.clone(),
+                    cap_scale: c.clone(),
+                });
+            }
+            out.push(Scenario::from_mask(mask));
         }
         out
     }
@@ -389,6 +694,90 @@ mod tests {
         assert!(c.holds(&mask));
         mask[0] = true;
         assert!(!c.holds(&mask));
+    }
+}
+
+#[cfg(test)]
+mod structured_tests {
+    use super::*;
+    use pcf_topology::zoo;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn regional_groups_are_incident_link_unions() {
+        let t = zoo::build("Abilene");
+        let region = vec![pcf_topology::NodeId(0), pcf_topology::NodeId(3)];
+        let b = GroupBudget::regions(&t, &[region.clone()], 1);
+        assert_eq!(b.groups.len(), 1);
+        for l in t.links() {
+            let touches = region.iter().any(|&n| t.link(l).touches(n));
+            assert_eq!(b.groups[0].contains(&l), touches);
+        }
+    }
+
+    #[test]
+    fn nodes_and_links_enumeration_is_cartesian_up_to_dedup() {
+        let t = zoo::build("Abilene");
+        let fm = FailureModel::nodes_and_links(&t, 1, 1);
+        let got: BTreeSet<Vec<bool>> = fm.enumerate_scenarios(&t).into_iter().collect();
+        let mut expect = BTreeSet::new();
+        for n in t.nodes() {
+            for l in t.links() {
+                let mut mask = vec![false; t.link_count()];
+                for &(_, il) in t.incident(n) {
+                    mask[il.index()] = true;
+                }
+                mask[l.index()] = true;
+                expect.insert(mask);
+            }
+        }
+        assert_eq!(got, expect);
+        // The closed-form count is the product of per-budget counts.
+        assert_eq!(fm.scenario_count(&t), t.node_count() * t.link_count());
+    }
+
+    #[test]
+    fn degradation_corners_cover_the_box() {
+        let deg = Degradation::uniform(5, 0.8);
+        let cs = deg.corners();
+        // One corner per link plus the all-floors corner.
+        assert_eq!(cs.len(), 6);
+        assert!(cs
+            .iter()
+            .any(|c| c.iter().all(|&s| (s - 0.8).abs() < 1e-12)));
+        // A binding budget clips single-link drops and removes the
+        // all-floors corner.
+        let tight = Degradation::uniform(5, 0.8).with_budget(0.1);
+        let cs2 = tight.corners();
+        assert_eq!(cs2.len(), 5);
+        assert!(cs2.iter().flatten().all(|&s| s >= 0.9 - 1e-12));
+    }
+
+    #[test]
+    fn structured_scenarios_compose_masks_and_corners() {
+        let t = zoo::build("Abilene");
+        let deg = Degradation::uniform(t.link_count(), 0.5);
+        let fm = FailureModel::links(1).with_degradation(&t, deg);
+        let sc = fm.enumerate_structured_scenarios(&t);
+        // masks × (undegraded + per-link corners + all-floors corner)
+        assert_eq!(sc.len(), t.link_count() * (1 + t.link_count() + 1));
+        assert!(sc.iter().any(|s| s.undegraded()));
+        for s in &sc {
+            assert_eq!(s.dead.len(), t.link_count());
+            assert!(s.cap_scale.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn structured_sampling_is_deterministic() {
+        let t = zoo::build("GEANT");
+        let fm = FailureModel::nodes_and_links(&t, 1, 2);
+        let a = fm.sample_scenarios(&t, 20, 3);
+        let b = fm.sample_scenarios(&t, 20, 3);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a, b);
+        let set: BTreeSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 20);
     }
 }
 

@@ -33,7 +33,7 @@ pub use degrade::{
     DegradeMode, DegradedRouting, LadderStage,
 };
 pub use dualized::DualizedError;
-pub use failure::{Condition, FailureModel};
+pub use failure::{Condition, Degradation, FailureModel, GroupBudget, Scenario};
 pub use instance::{Instance, InstanceBuilder, LogicalSequence, LsId, PairId, TunnelId};
 pub use logical_flow::{
     bypass_flows, decompose_flows, pcf_cls_pipeline, solve_logical_flow, ClsResult, FlowSolution,
@@ -46,8 +46,8 @@ pub use optimal::{
 };
 pub use r3::{solve_generalized_r3, solve_r3, R3Solution};
 pub use realize::{
-    absolute_tolerance, check_utilizations, expand_routing, greedy_topsort, live_pairs,
-    proportional_routing, realize_routing, realize_routing_with, reservation_matrix,
+    absolute_tolerance, check_utilizations, degraded_reservations, expand_routing, greedy_topsort,
+    live_pairs, proportional_routing, realize_routing, realize_routing_with, reservation_matrix,
     topological_order, FailureState, RealizeError, RealizeKernel, Routing,
 };
 pub use robust::{
@@ -60,6 +60,7 @@ pub use schemes::{
     solve_pcf_tf, solve_pcf_tf_seeded, tunnel_instance,
 };
 pub use validate::{
-    validate_all, validate_all_with, validate_scenarios, validate_scenarios_with, ArcHotspot,
+    validate_all, validate_all_with, validate_scenarios, validate_scenarios_with,
+    validate_structured, validate_structured_scenarios_with, validate_structured_with, ArcHotspot,
     ValidationReport, Violation, ViolationKind, ViolationSummary,
 };

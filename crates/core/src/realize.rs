@@ -27,6 +27,9 @@ use std::collections::{BTreeMap, BTreeSet};
 pub struct FailureState {
     /// Dead-link mask.
     pub dead: Vec<bool>,
+    /// Per-link surviving capacity fraction in `[0, 1]` (`1.0` everywhere
+    /// when no link is degraded).
+    pub cap_scale: Vec<f64>,
     /// Tunnel liveness (a tunnel dies with any of its links).
     pub tunnel_alive: Vec<bool>,
     /// LS activation (condition evaluation).
@@ -55,9 +58,35 @@ impl FailureState {
             .collect();
         Ok(FailureState {
             dead: dead.to_vec(),
+            cap_scale: vec![1.0; dead.len()],
             tunnel_alive,
             ls_active,
         })
+    }
+
+    /// Like [`FailureState::new`], but with per-link capacity scales for
+    /// partial degradation. Degraded links stay alive (tunnel liveness and
+    /// LS conditions read only `dead`); the scales shrink reservations via
+    /// [`degraded_reservations`] and the caps the caller checks against.
+    pub fn with_cap_scale(
+        inst: &Instance,
+        dead: &[bool],
+        cap_scale: &[f64],
+    ) -> Result<Self, RealizeError> {
+        if cap_scale.len() != inst.topo().link_count() {
+            return Err(RealizeError::MaskLengthMismatch {
+                expected: inst.topo().link_count(),
+                got: cap_scale.len(),
+            });
+        }
+        let mut state = FailureState::new(inst, dead)?;
+        state.cap_scale = cap_scale.to_vec();
+        Ok(state)
+    }
+
+    /// True when every link retains full capacity.
+    pub fn undegraded(&self) -> bool {
+        self.cap_scale.iter().all(|&s| s >= 1.0)
     }
 
     /// Packs tunnel liveness and LS activation into a compact bit
@@ -377,6 +406,32 @@ pub fn realize_routing(
     tol: f64,
 ) -> Result<Routing, RealizeError> {
     realize_routing_with(inst, state, a, b, served, tol, RealizeKernel::Dense)
+}
+
+/// Rescales tunnel reservations for partial capacity degradation:
+/// `ã_l = a_l · Π_{e∈τ_l} cap_scale_e`.
+///
+/// Every link's realized tunnel load then shrinks at least as fast as its
+/// capacity (the load on `e` scales by `Π ≤ cap_scale_e`), so a plan that is
+/// congestion-free at nominal capacities stays congestion-free at the
+/// degraded capacities when realized with the rescaled reservations. LS
+/// reservations need no scaling: they ride on segment pairs whose own
+/// tunnel terms already carry the degradation.
+pub fn degraded_reservations(inst: &Instance, state: &FailureState, a: &[f64]) -> Vec<f64> {
+    let mut out = a.to_vec();
+    if state.undegraded() {
+        return out;
+    }
+    for l in inst.tunnel_ids() {
+        let scale: f64 = inst
+            .tunnel(l)
+            .links
+            .iter()
+            .map(|e| state.cap_scale[e.index()].clamp(0.0, 1.0))
+            .product();
+        out[l.0] *= scale;
+    }
+    out
 }
 
 /// Which linear-algebra kernel [`realize_routing_with`] uses for `M × U = D`.

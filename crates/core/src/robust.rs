@@ -68,7 +68,10 @@ impl fmt::Display for RobustError {
             }
             RobustError::Adversary(e) => write!(f, "separation oracle failed: {e}"),
             RobustError::FlowPairMissing(what) => {
-                write!(f, "flow references a pair missing from the instance: {what}")
+                write!(
+                    f,
+                    "flow references a pair missing from the instance: {what}"
+                )
             }
         }
     }

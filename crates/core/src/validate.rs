@@ -18,9 +18,11 @@
 //! Used heavily by the integration and property tests; also useful as an
 //! operator-facing audit tool.
 
-use crate::failure::FailureModel;
+use crate::failure::{FailureModel, Scenario};
 use crate::instance::Instance;
-use crate::realize::{realize_routing_with, FailureState, RealizeError, RealizeKernel};
+use crate::realize::{
+    degraded_reservations, realize_routing_with, FailureState, RealizeError, RealizeKernel,
+};
 use std::collections::BTreeMap;
 
 /// How many hotspot arcs a [`ValidationReport`] retains.
@@ -58,6 +60,9 @@ pub struct ArcHotspot {
 pub struct Violation {
     /// The dead-link mask of the offending scenario.
     pub dead: Vec<bool>,
+    /// Per-link capacity scales of the offending scenario; empty when the
+    /// scenario carried no partial degradation.
+    pub cap_scale: Vec<f64>,
     /// What went wrong.
     pub kind: ViolationKind,
 }
@@ -162,6 +167,11 @@ impl ValidationReport {
                 }
                 eat(&mut h, &[byte]);
             }
+            // Empty for undegraded scenarios, so link-failure-only digests
+            // are unchanged by the structured extension.
+            for &s in &v.cap_scale {
+                eat(&mut h, &quantize(s).to_le_bytes());
+            }
             match &v.kind {
                 ViolationKind::Realize(e) => {
                     eat(&mut h, &[0u8]);
@@ -238,6 +248,7 @@ pub fn validate_scenarios_with(
             Err(e) => {
                 violations.push(Violation {
                     dead: mask.clone(),
+                    cap_scale: Vec::new(),
                     kind: ViolationKind::Realize(e),
                 });
                 continue;
@@ -255,6 +266,7 @@ pub fn validate_scenarios_with(
         match &solved[idx] {
             Err(e) => violations.push(Violation {
                 dead: mask.clone(),
+                cap_scale: Vec::new(),
                 kind: ViolationKind::Realize(e.clone()),
             }),
             Ok(arc_loads) => {
@@ -264,6 +276,7 @@ pub fn validate_scenarios_with(
                     if load > cap * (1.0 + tol) + tol {
                         violations.push(Violation {
                             dead: mask.clone(),
+                            cap_scale: Vec::new(),
                             kind: ViolationKind::Overload {
                                 arc: arc.index(),
                                 load,
@@ -327,6 +340,130 @@ pub fn validate_all_with(
 ) -> ValidationReport {
     let masks = fm.enumerate_scenarios(inst.topo());
     validate_scenarios_with(inst, a, b, served, &masks, tol, kernel)
+}
+
+/// Validates over every *structured* scenario of the failure model: all
+/// worst-cardinality failure masks composed with the degradation corner
+/// points. Degraded scenarios realize with rescaled reservations
+/// ([`degraded_reservations`]) and check loads against the degraded
+/// capacities; a plan solved without degradation awareness typically fails
+/// these with utilization-out-of-range realizations (it promised traffic the
+/// sagging links can no longer carry).
+pub fn validate_structured(
+    inst: &Instance,
+    fm: &FailureModel,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    tol: f64,
+) -> ValidationReport {
+    validate_structured_with(inst, fm, a, b, served, tol, RealizeKernel::Dense)
+}
+
+/// [`validate_structured`] with an explicit realization kernel.
+pub fn validate_structured_with(
+    inst: &Instance,
+    fm: &FailureModel,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    tol: f64,
+    kernel: RealizeKernel,
+) -> ValidationReport {
+    let scenarios = fm.enumerate_structured_scenarios(inst.topo());
+    validate_structured_scenarios_with(inst, a, b, served, &scenarios, tol, kernel)
+}
+
+/// Validates an allocation over an explicit structured scenario list.
+/// Scenarios with identical liveness signatures *and* capacity scales are
+/// realized once and share the solution.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_structured_scenarios_with(
+    inst: &Instance,
+    a: &[f64],
+    b: &[f64],
+    served: &[f64],
+    scenarios: &[Scenario],
+    tol: f64,
+    kernel: RealizeKernel,
+) -> ValidationReport {
+    let topo = inst.topo();
+    let mut arc_peak = vec![0.0f64; topo.arc_count()];
+    let mut violations = Vec::new();
+    // Realized (or failed) routings keyed by (liveness signature, quantized
+    // capacity scales — empty when undegraded).
+    let mut by_key: BTreeMap<(Vec<u64>, Vec<i64>), usize> = BTreeMap::new();
+    let mut solved: Vec<Result<Vec<f64>, RealizeError>> = Vec::new();
+    for sc in scenarios {
+        let state = match FailureState::with_cap_scale(inst, &sc.dead, &sc.cap_scale) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(Violation {
+                    dead: sc.dead.clone(),
+                    cap_scale: sc.cap_scale.clone(),
+                    kind: ViolationKind::Realize(e),
+                });
+                continue;
+            }
+        };
+        let degraded = !state.undegraded();
+        let scale_key: Vec<i64> = if degraded {
+            sc.cap_scale
+                .iter()
+                .map(|&s| (s * 1e9).round() as i64)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let viol_scale = if degraded {
+            sc.cap_scale.clone()
+        } else {
+            Vec::new()
+        };
+        let idx = *by_key
+            .entry((state.liveness_signature(), scale_key))
+            .or_insert_with(|| {
+                let eff_a = degraded_reservations(inst, &state, a);
+                solved.push(
+                    realize_routing_with(inst, &state, &eff_a, b, served, tol, kernel)
+                        .map(|r| r.arc_loads),
+                );
+                solved.len() - 1
+            });
+        match &solved[idx] {
+            Err(e) => violations.push(Violation {
+                dead: sc.dead.clone(),
+                cap_scale: viol_scale,
+                kind: ViolationKind::Realize(e.clone()),
+            }),
+            Ok(arc_loads) => {
+                for arc in topo.arcs() {
+                    let load = arc_loads[arc.index()];
+                    let scale = sc.cap_scale[arc.link().index()].clamp(0.0, 1.0);
+                    let cap = topo.capacity(arc.link()) * scale;
+                    if load > cap * (1.0 + tol) + tol {
+                        violations.push(Violation {
+                            dead: sc.dead.clone(),
+                            cap_scale: viol_scale.clone(),
+                            kind: ViolationKind::Overload {
+                                arc: arc.index(),
+                                load,
+                                capacity: cap,
+                            },
+                        });
+                    }
+                    arc_peak[arc.index()] = arc_peak[arc.index()].max(load / cap.max(1e-12));
+                }
+            }
+        }
+    }
+    ValidationReport {
+        scenarios: scenarios.len(),
+        distinct_states: solved.len(),
+        max_utilization: arc_peak.iter().fold(0.0, |m, &u| m.max(u)),
+        top_arcs: top_hotspots(&arc_peak, TOP_ARCS),
+        violations,
+    }
 }
 
 #[cfg(test)]

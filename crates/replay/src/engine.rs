@@ -19,9 +19,10 @@
 
 use crate::trace::{EventKind, LinkEvent};
 use pcf_core::{
-    absolute_tolerance, check_utilizations, degrade_fallback, expand_routing, live_pairs,
-    normal_routing, realize_routing, reservation_matrix, Condition, DegradeMode, DegradedRouting,
-    FailureState, Instance, LadderStage, LsId, PairId, RealizeError, Routing, TunnelId,
+    absolute_tolerance, check_utilizations, degrade_fallback, degraded_reservations,
+    expand_routing, live_pairs, normal_routing, realize_routing, reservation_matrix, Condition,
+    DegradeMode, DegradedRouting, FailureState, Instance, LadderStage, LsId, PairId, RealizeError,
+    Routing, TunnelId,
 };
 use pcf_lp::{lu_factor, LuFactors, SparseLu};
 use std::collections::{BTreeMap, VecDeque};
@@ -294,9 +295,18 @@ pub struct ReplayEngine<'a> {
     cache: CacheBackend<'a>,
     cold_stats: CacheStats,
     // Nominal per-link capacities and the ones currently in effect
-    // (wobble events scale entries of `caps`).
+    // (wobble and degrade events both scale entries of `caps`).
     nominal_caps: Vec<f64>,
     caps: Vec<f64>,
+    // The two capacity-scaling channels, kept separate because only
+    // degradation is visible to realization: wobbles move the judging bar,
+    // degrades additionally rescale reservations and enter the cache key.
+    wobble_p: Vec<u32>,
+    degrade_p: Vec<u32>,
+    degraded_links: usize,
+    // FNV over the (link, permille) degradation pattern; 0 iff undegraded,
+    // so undegraded cache keys keep their historical shape.
+    degrade_fp: u64,
     degrade: DegradeMode,
     dstats: DegradeStats,
     factor_kind: FactorKind,
@@ -339,6 +349,7 @@ impl<'a> ReplayEngine<'a> {
                 .map(|q| inst.ls(q).condition.holds(&no_fail))
                 .collect(),
             dead: no_fail,
+            cap_scale: vec![1.0; links],
         };
         let sig = fs.liveness_signature();
         ReplayEngine {
@@ -369,6 +380,10 @@ impl<'a> ReplayEngine<'a> {
                 .links()
                 .map(|l| inst.topo().capacity(l))
                 .collect(),
+            wobble_p: vec![1000; links],
+            degrade_p: vec![1000; links],
+            degraded_links: 0,
+            degrade_fp: 0,
             degrade: DegradeMode::Off,
             dstats: DegradeStats::default(),
             factor_kind: FactorKind::default(),
@@ -447,10 +462,30 @@ impl<'a> ReplayEngine<'a> {
                 false
             }
             EventKind::Wobble { permille } => {
-                // Capacity changes don't touch liveness (or the cache
-                // signature — realization is capacity-blind); they only
-                // move the bar overload checks measure against.
-                self.caps[e] = self.nominal_caps[e] * (permille as f64 / 1000.0);
+                // Wobbles don't touch liveness (or the cache signature —
+                // realization is wobble-blind); they only move the bar
+                // overload checks measure against.
+                self.wobble_p[e] = permille;
+                self.caps[e] = self.effective_cap(e);
+                return Ok(());
+            }
+            EventKind::Degrade { permille } => {
+                // Degradation is realization-visible: it rescales the
+                // reservations riding the link and enters the cache key
+                // through the degradation fingerprint. Liveness (and the
+                // liveness signature) stay untouched — the link is alive.
+                let p = permille.clamp(1, 1000);
+                let was = self.degrade_p[e] != 1000;
+                let now = p != 1000;
+                self.degrade_p[e] = p;
+                self.fs.cap_scale[e] = p as f64 / 1000.0;
+                self.caps[e] = self.effective_cap(e);
+                match (was, now) {
+                    (false, true) => self.degraded_links += 1,
+                    (true, false) => self.degraded_links -= 1,
+                    _ => {}
+                }
+                self.degrade_fp = self.degrade_fingerprint();
                 return Ok(());
             }
         };
@@ -485,14 +520,59 @@ impl<'a> ReplayEngine<'a> {
         Ok(())
     }
 
+    /// The capacity currently in effect on link `e`: nominal scaled by
+    /// both the wobble and degrade channels.
+    fn effective_cap(&self, e: usize) -> f64 {
+        self.nominal_caps[e]
+            * (self.wobble_p[e] as f64 / 1000.0)
+            * (self.degrade_p[e] as f64 / 1000.0)
+    }
+
+    /// FNV-1a over the sorted (link, permille) degradation pattern.
+    /// Returns 0 exactly when nothing is degraded; a (vanishingly rare)
+    /// hash of 0 is bumped to 1 so a degraded state can never alias an
+    /// undegraded cache key.
+    fn degrade_fingerprint(&self) -> u64 {
+        if self.degraded_links == 0 {
+            return 0;
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for (i, &p) in self.degrade_p.iter().enumerate() {
+            if p == 1000 {
+                continue;
+            }
+            for byte in (i as u64).to_le_bytes().into_iter().chain(p.to_le_bytes()) {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h.max(1)
+    }
+
+    /// The plan's reservations under the current degradation pattern
+    /// (`None` when nothing is degraded and the nominal `a` applies).
+    fn effective_a(&self) -> Option<Vec<f64>> {
+        if self.degraded_links == 0 {
+            None
+        } else {
+            Some(degraded_reservations(self.inst, &self.fs, self.a))
+        }
+    }
+
     /// Number of currently dead links.
     pub fn dead_links(&self) -> usize {
         self.dead_links
     }
 
+    /// Number of links currently running partial-capacity degraded.
+    pub fn degraded_links(&self) -> usize {
+        self.degraded_links
+    }
+
     /// The current state as a [`FailureState`] (a snapshot — further events
     /// don't affect it). Equal, field for field, to
-    /// `FailureState::new(inst, &dead)` for the accumulated mask.
+    /// `FailureState::new(inst, &dead)` for the accumulated mask, except
+    /// that `cap_scale` carries any degrade events applied so far.
     pub fn state(&self) -> FailureState {
         self.fs.clone()
     }
@@ -503,14 +583,23 @@ impl<'a> ReplayEngine<'a> {
     /// its stored LU factors (an O(n²) solve); a new signature pays the
     /// full factorization once. Results — including errors — are identical
     /// to calling [`realize_routing`] on [`ReplayEngine::state`].
+    ///
+    /// Under partial-capacity degradation the reservations are first
+    /// rescaled per tunnel ([`degraded_reservations`]) so the realized
+    /// loads respect the surviving capacities, and the cache key grows a
+    /// degradation fingerprint — undegraded states keep their historical
+    /// keys, and a degraded factorization is never served to (or from) an
+    /// undegraded one.
     pub fn realize(&mut self) -> Result<Routing, RealizeError> {
         if self.force_singular {
             // Injected failure: reported before the cache is consulted so
             // it can neither store nor serve a poisoned entry.
             return Err(RealizeError::SingularMatrix);
         }
+        let a_scaled = self.effective_a();
         let state = &self.fs;
-        let (inst, a, b, served, tol) = (self.inst, self.a, self.b, self.served, self.tol);
+        let (inst, b, served, tol) = (self.inst, self.b, self.served, self.tol);
+        let a: &[f64] = a_scaled.as_deref().unwrap_or(self.a);
         let kind = self.factor_kind;
         match &mut self.cache {
             CacheBackend::Cold => {
@@ -525,18 +614,26 @@ impl<'a> ReplayEngine<'a> {
             CacheBackend::Private(cache) => {
                 // The cache key leads with the factor kind: a dense-era
                 // entry must never answer for the sparse backend (or vice
-                // versa), even though their liveness signatures match.
-                let mut key = Vec::with_capacity(self.sig.len() + 1);
+                // versa), even though their liveness signatures match. A
+                // degradation fingerprint (present only when degraded)
+                // does the same for capacity patterns.
+                let mut key = Vec::with_capacity(self.sig.len() + 2);
                 key.push(kind as u64);
                 key.extend_from_slice(&self.sig);
+                if self.degrade_fp != 0 {
+                    key.push(self.degrade_fp);
+                }
                 let entry = cache
                     .lookup_or_insert(key, || compute_entry(inst, state, a, b, served, tol, kind));
                 routing_from_entry(entry, inst, state, a, served, tol)
             }
             CacheBackend::Shared(shared) => {
-                let mut key = Vec::with_capacity(self.sig.len() + 1);
+                let mut key = Vec::with_capacity(self.sig.len() + 2);
                 key.push(kind as u64);
                 key.extend_from_slice(&self.sig);
+                if self.degrade_fp != 0 {
+                    key.push(self.degrade_fp);
+                }
                 let entry = shared
                     .lookup_or_insert(&key, || compute_entry(inst, state, a, b, served, tol, kind));
                 routing_from_entry(&entry, inst, state, a, served, tol)
@@ -560,10 +657,12 @@ impl<'a> ReplayEngine<'a> {
                 Ok(normal_routing(self.inst, routing, &self.caps))
             }
             Err(err) => {
+                let a_scaled = self.effective_a();
+                let a: &[f64] = a_scaled.as_deref().unwrap_or(self.a);
                 let fallback = degrade_fallback(
                     self.inst,
                     &self.fs,
-                    self.a,
+                    a,
                     self.b,
                     self.served,
                     self.tol,
@@ -590,7 +689,7 @@ impl<'a> ReplayEngine<'a> {
     }
 
     /// The capacity of `link` currently in effect (nominal unless a
-    /// wobble event rescaled it).
+    /// wobble or degrade event rescaled it).
     pub fn capacity(&self, link: pcf_topology::LinkId) -> f64 {
         self.caps[link.index()]
     }
@@ -862,6 +961,113 @@ mod tests {
         assert_eq!(stats.hits, 2, "{stats:?}");
         assert_eq!(stats.misses, 2);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrade_rescales_reservations_and_forks_the_cache_key() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 16);
+        let link = pcf_topology::LinkId(0);
+        let nominal = inst.topo().capacity(link);
+
+        // Warm the undegraded entry.
+        let clean = engine.realize().unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+
+        // Degrade: capacity halves, liveness is untouched, and the
+        // realization matches the from-scratch solve over the rescaled
+        // reservations bit for bit.
+        let sig_before = engine.state().liveness_signature();
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Degrade { permille: 500 },
+            })
+            .unwrap();
+        assert!((engine.capacity(link) - 0.5 * nominal).abs() < 1e-12);
+        assert_eq!(engine.dead_links(), 0);
+        assert_eq!(engine.degraded_links(), 1);
+        assert_eq!(engine.state().liveness_signature(), sig_before);
+        let state = engine.state();
+        assert!((state.cap_scale[0] - 0.5).abs() < 1e-12);
+        let a_eff = pcf_core::degraded_reservations(&inst, &state, &a);
+        let expect = pcf_core::realize_routing(&inst, &state, &a_eff, &b, &served, 1e-6).unwrap();
+        let got = engine.realize().unwrap();
+        assert_eq!(got.pairs, expect.pairs);
+        for (x, y) in got.arc_loads.iter().zip(&expect.arc_loads) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Same liveness signature, different degradation: a fresh entry,
+        // never the undegraded one.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "degraded state must not hit: {stats:?}");
+        assert_eq!(engine.cached_entries(), 2);
+
+        // Tunnels over the degraded link shrink; the routing differs from
+        // the clean one.
+        assert!(got
+            .arc_loads
+            .iter()
+            .zip(&clean.arc_loads)
+            .any(|(x, y)| (x - y).abs() > 1e-12));
+
+        // Replaying the same degradation hits its own entry; restoring to
+        // 1000 returns to the original key and hits too.
+        engine.realize().unwrap();
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Degrade { permille: 1000 },
+            })
+            .unwrap();
+        assert_eq!(engine.degraded_links(), 0);
+        assert!((engine.capacity(link) - nominal).abs() < 1e-12);
+        let restored = engine.realize().unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 2);
+        for (x, y) in restored.arc_loads.iter().zip(&clean.arc_loads) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn degrade_composes_with_wobble_and_failures() {
+        let (inst, a, b, served) = sprint_plan();
+        let mut engine = ReplayEngine::new(&inst, &a, &b, &served, 1e-6, 16);
+        let link = pcf_topology::LinkId(2);
+        let nominal = inst.topo().capacity(link);
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Degrade { permille: 800 },
+            })
+            .unwrap();
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Wobble { permille: 500 },
+            })
+            .unwrap();
+        // Channels multiply: 0.8 * 0.5 of nominal.
+        assert!((engine.capacity(link) - 0.4 * nominal).abs() < 1e-12);
+        // But only the degrade channel reaches the failure state.
+        assert!((engine.state().cap_scale[2] - 0.8).abs() < 1e-12);
+        // A dead degraded link realizes exactly like a dead link: the
+        // degradation only matters for surviving tunnels.
+        engine
+            .apply(&LinkEvent {
+                link,
+                kind: EventKind::Down,
+            })
+            .unwrap();
+        let got = engine.realize().unwrap();
+        let state = engine.state();
+        let a_eff = pcf_core::degraded_reservations(&inst, &state, &a);
+        let expect = pcf_core::realize_routing(&inst, &state, &a_eff, &b, &served, 1e-6).unwrap();
+        for (x, y) in got.arc_loads.iter().zip(&expect.arc_loads) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -158,6 +158,46 @@ impl FaultInjector {
         EventTrace::new(format!("chaos(n={count},f={f},seed={})", self.seed), events)
     }
 
+    /// Partial-capacity degradation storm: random links degrade to a
+    /// surviving capacity in `[min_permille, 999]` permille of nominal,
+    /// then restore to 1000, in squeeze/restore pairs. Unlike
+    /// [`FaultInjector::capacity_wobble`] these events are
+    /// realization-visible — the engine rescales the reservations riding
+    /// each degraded link. `min_permille` is clamped to `1..=999`.
+    pub fn degradation_storm(
+        &self,
+        topo: &Topology,
+        count: usize,
+        min_permille: u32,
+    ) -> EventTrace {
+        let mut rng = self.stream(0xd364ade);
+        let min_permille = min_permille.clamp(1, 999);
+        let links: Vec<LinkId> = topo.links().collect();
+        let mut events = Vec::with_capacity(count);
+        if !links.is_empty() {
+            while events.len() < count {
+                let link = *rng.pick(&links);
+                let permille = rng.range_usize(min_permille as usize, 1000) as u32;
+                events.push(LinkEvent {
+                    link,
+                    kind: EventKind::Degrade { permille },
+                });
+                events.push(LinkEvent {
+                    link,
+                    kind: EventKind::Degrade { permille: 1000 },
+                });
+            }
+            events.truncate(count);
+        }
+        EventTrace::new(
+            format!(
+                "degradation_storm(n={count},min={min_permille},seed={})",
+                self.seed
+            ),
+            events,
+        )
+    }
+
     /// Corrupt scripted-trace text for parser fuzzing: a mix of valid
     /// lines, comments, and malformed entries (unknown verbs, missing or
     /// trailing arguments, unparsable indices, out-of-range numbers). At
@@ -226,7 +266,7 @@ mod tests {
                 match e.kind {
                     EventKind::Down => down[e.link.index()] += 1,
                     EventKind::Up => down[e.link.index()] -= 1,
-                    EventKind::Wobble { .. } => {}
+                    EventKind::Wobble { .. } | EventKind::Degrade { .. } => {}
                 }
             }
             assert!(down.iter().all(|&d| d == 0));
@@ -285,6 +325,27 @@ mod tests {
                     dead[e.link.index()] = false;
                 }
                 EventKind::Wobble { permille } => assert!((300..=1500).contains(&permille)),
+                EventKind::Degrade { .. } => panic!("chaos does not emit degrades"),
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_storm_passes_strict_validation() {
+        let topo = zoo::build("Sprint");
+        let inj = FaultInjector::new(5);
+        let t = inj.degradation_storm(&topo, 40, 400);
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.max_concurrent_down(), 0);
+        assert_eq!(t, FaultInjector::new(5).degradation_storm(&topo, 40, 400));
+        let strict = EventTrace::parse_strict("d", &t.to_text(), &topo);
+        assert!(strict.is_ok(), "{strict:?}");
+        for e in &t.events {
+            match e.kind {
+                EventKind::Degrade { permille } => {
+                    assert!((400..=1000).contains(&permille))
+                }
+                _ => panic!("degradation storm emitted a non-degrade event"),
             }
         }
     }

@@ -17,7 +17,10 @@
 //!   cache counters) ([`report`]);
 //! * [`FaultInjector`] — deterministic adversarial traces (beyond-budget
 //!   bursts, capacity wobble, corrupt trace text) that push replays past
-//!   the failure budget the plan was solved for ([`inject`]).
+//!   the failure budget the plan was solved for ([`inject`]);
+//! * [`run_campaign`] — greedy LP-guided adversarial campaigns that pick
+//!   the most damaging SRLG/node/link/degradation event each step and
+//!   record per-scheme throughput-retention curves ([`campaign`]).
 //!
 //! Beyond-budget events don't abort the replay: with a
 //! [`DegradeMode`](pcf_core::DegradeMode) selected, the engine walks
@@ -29,12 +32,16 @@
 //! bit-identical routings; the property tests in this crate hold the
 //! engine to that.
 
+pub mod campaign;
 pub mod engine;
 pub mod inject;
 pub mod report;
 pub mod shared;
 pub mod trace;
 
+pub use campaign::{
+    run_campaign, CampaignCurve, CampaignOptions, CampaignPlan, CampaignReport, CampaignStep,
+};
 pub use engine::{CacheStats, DegradeStats, FactorKind, ReplayEngine};
 pub use inject::FaultInjector;
 pub use report::{

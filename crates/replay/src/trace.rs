@@ -5,7 +5,10 @@
 //! three places:
 //!
 //! * scripted files ([`EventTrace::parse`] / [`EventTrace::to_text`]) with
-//!   one `down <link>` or `up <link>` per line;
+//!   one `down <link>`, `up <link>`, `wobble <link> <permille>`, or
+//!   `degrade <link> <permille>` per line — plus the correlated verbs
+//!   `srlg <group>` and `node <id>` that [`EventTrace::parse_strict_with`]
+//!   expands into the member links' down events;
 //! * the deterministic generators ([`EventTrace::flaps`],
 //!   [`EventTrace::srlg_bursts`], [`EventTrace::rolling_maintenance`]),
 //!   seeded through [`pcf_rng::Pcg32`] so the same seed reproduces the
@@ -31,8 +34,21 @@ pub enum EventKind {
     /// The link's capacity changes to `permille`/1000 of nominal (an
     /// integer so event equality and trace round-trips stay exact).
     /// `1000` restores nominal capacity; values above it model headroom.
+    ///
+    /// Wobbles are *capacity-blind* to realization: they only move the bar
+    /// overload judging measures against. Contrast [`EventKind::Degrade`].
     Wobble {
         /// New capacity in thousandths of the nominal one.
+        permille: u32,
+    },
+    /// Partial-capacity degradation: the link stays alive but only
+    /// `permille`/1000 of its nominal capacity survives (a fiber cut in a
+    /// bundle, a brown-out). Unlike [`EventKind::Wobble`], degradation is
+    /// visible to realization — the engine rescales reservations riding
+    /// the link and keys its factorization cache on the degradation
+    /// pattern. `1000` restores the link to undegraded.
+    Degrade {
+        /// Surviving capacity in thousandths of the nominal one (`1..=1000`).
         permille: u32,
     },
 }
@@ -222,17 +238,33 @@ impl EventTrace {
         )
     }
 
-    /// Parses the scripted format: one `down <link>`, `up <link>`, or
-    /// `wobble <link> <permille>` per line; blank lines and `#` comments
-    /// are ignored. Links are given by index, with or without the `e`
-    /// prefix the CLI prints (`down 3` and `down e3` are the same event).
+    /// Parses the scripted format: one `down <link>`, `up <link>`,
+    /// `wobble <link> <permille>`, or `degrade <link> <permille>` per
+    /// line; blank lines and `#` comments are ignored. Links are given by
+    /// index, with or without the `e` prefix the CLI prints (`down 3` and
+    /// `down e3` are the same event).
     ///
     /// This lenient form accepts any link index and idempotent events
     /// (the engine treats them as no-ops); use
     /// [`EventTrace::parse_strict`] to validate a trace against a
-    /// concrete topology.
+    /// concrete topology. The correlated verbs `srlg <group>` and
+    /// `node <id>` need resolution context and are only accepted by
+    /// [`EventTrace::parse_strict_with`].
     pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, TraceParseError> {
-        let events = parse_events(text)?.into_iter().map(|(_, e)| e).collect();
+        let mut events = Vec::new();
+        for (line, d) in parse_directives(text)? {
+            match d {
+                Directive::Event(e) => events.push(e),
+                Directive::Srlg(_) | Directive::Node(_) => {
+                    return Err(TraceParseError {
+                        line,
+                        message: "correlated event needs topology context \
+                                  (use parse_strict_with)"
+                            .to_string(),
+                    })
+                }
+            }
+        }
         Ok(EventTrace::new(name, events))
     }
 
@@ -244,16 +276,43 @@ impl EventTrace {
     ///   rejected (duplicate / contradictory state changes usually mean
     ///   a corrupt or misordered trace);
     /// * `wobble` permille must be in `1..=2000` (a zero-capacity link
-    ///   should be scripted as `down`).
+    ///   should be scripted as `down`);
+    /// * `degrade` permille must be in `1..=1000` (degradation never
+    ///   exceeds nominal; total loss is scripted as `down`).
+    ///
+    /// `srlg` events are rejected here (no group table); use
+    /// [`EventTrace::parse_strict_with`] for the full verb set.
     pub fn parse_strict(
         name: impl Into<String>,
         text: &str,
         topo: &Topology,
     ) -> Result<Self, TraceParseError> {
-        let tagged = parse_events(text)?;
+        EventTrace::parse_strict_with(name, text, topo, &[])
+    }
+
+    /// The full scripted language: everything [`EventTrace::parse_strict`]
+    /// accepts plus the correlated failure verbs, resolved against `topo`
+    /// and the SRLG `groups` table (e.g. `SrlgSet::link_groups()` from the
+    /// topology's sidecar file):
+    ///
+    /// * `srlg <group>` — fails every link of group `<group>` (0-based
+    ///   index into `groups`); members already down are skipped, so
+    ///   overlapping groups compose;
+    /// * `node <id>` — fails every link incident to node `<id>`, again
+    ///   skipping members already down.
+    ///
+    /// Both expand into plain per-link down events (recovery is scripted
+    /// with per-link `up` lines), so the returned trace replays on an
+    /// unmodified engine and [`EventTrace::to_text`] emits the expansion.
+    pub fn parse_strict_with(
+        name: impl Into<String>,
+        text: &str,
+        topo: &Topology,
+        groups: &[Vec<LinkId>],
+    ) -> Result<Self, TraceParseError> {
+        let mut events = Vec::new();
         let mut dead = vec![false; topo.link_count()];
-        for &(line, e) in &tagged {
-            let idx = e.link.index();
+        let check_link = |idx: usize, line: usize| -> Result<(), TraceParseError> {
             if idx >= topo.link_count() {
                 return Err(TraceParseError {
                     line,
@@ -264,36 +323,100 @@ impl EventTrace {
                     ),
                 });
             }
-            match e.kind {
-                EventKind::Down => {
-                    if dead[idx] {
+            Ok(())
+        };
+        for (line, d) in parse_directives(text)? {
+            match d {
+                Directive::Event(e) => {
+                    let idx = e.link.index();
+                    check_link(idx, line)?;
+                    match e.kind {
+                        EventKind::Down => {
+                            if dead[idx] {
+                                return Err(TraceParseError {
+                                    line,
+                                    message: format!("duplicate down: link e{idx} is already down"),
+                                });
+                            }
+                            dead[idx] = true;
+                        }
+                        EventKind::Up => {
+                            if !dead[idx] {
+                                return Err(TraceParseError {
+                                    line,
+                                    message: format!("spurious up: link e{idx} is not down"),
+                                });
+                            }
+                            dead[idx] = false;
+                        }
+                        EventKind::Wobble { permille } => {
+                            if permille == 0 || permille > 2000 {
+                                return Err(TraceParseError {
+                                    line,
+                                    message: format!(
+                                        "wobble permille {permille} out of range 1..=2000"
+                                    ),
+                                });
+                            }
+                        }
+                        EventKind::Degrade { permille } => {
+                            if permille == 0 || permille > 1000 {
+                                return Err(TraceParseError {
+                                    line,
+                                    message: format!(
+                                        "degrade permille {permille} out of range 1..=1000 \
+                                         (script total loss as `down`)"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    events.push(e);
+                }
+                Directive::Srlg(g) => {
+                    let Some(members) = groups.get(g as usize) else {
                         return Err(TraceParseError {
                             line,
-                            message: format!("duplicate down: link e{idx} is already down"),
+                            message: format!(
+                                "unknown srlg group {g} (table has {} groups)",
+                                groups.len()
+                            ),
+                        });
+                    };
+                    for &l in members {
+                        check_link(l.index(), line)?;
+                        if !dead[l.index()] {
+                            dead[l.index()] = true;
+                            events.push(LinkEvent {
+                                link: l,
+                                kind: EventKind::Down,
+                            });
+                        }
+                    }
+                }
+                Directive::Node(n) => {
+                    if n as usize >= topo.node_count() {
+                        return Err(TraceParseError {
+                            line,
+                            message: format!(
+                                "unknown node {n}: topology {:?} has {} nodes",
+                                topo.name(),
+                                topo.node_count()
+                            ),
                         });
                     }
-                    dead[idx] = true;
-                }
-                EventKind::Up => {
-                    if !dead[idx] {
-                        return Err(TraceParseError {
-                            line,
-                            message: format!("spurious up: link e{idx} is not down"),
-                        });
-                    }
-                    dead[idx] = false;
-                }
-                EventKind::Wobble { permille } => {
-                    if permille == 0 || permille > 2000 {
-                        return Err(TraceParseError {
-                            line,
-                            message: format!("wobble permille {permille} out of range 1..=2000"),
-                        });
+                    for l in topo.links() {
+                        if topo.link(l).touches(pcf_topology::NodeId(n)) && !dead[l.index()] {
+                            dead[l.index()] = true;
+                            events.push(LinkEvent {
+                                link: l,
+                                kind: EventKind::Down,
+                            });
+                        }
                     }
                 }
             }
         }
-        let events = tagged.into_iter().map(|(_, e)| e).collect();
         Ok(EventTrace::new(name, events))
     }
 
@@ -308,16 +431,29 @@ impl EventTrace {
                 EventKind::Wobble { permille } => {
                     out.push_str(&format!("wobble {} {permille}\n", e.link.index()))
                 }
+                EventKind::Degrade { permille } => {
+                    out.push_str(&format!("degrade {} {permille}\n", e.link.index()))
+                }
             }
         }
         out
     }
 }
 
-/// The shared scripted-format reader: events tagged with their 1-based
+/// One parsed trace line: a plain link event, or a correlated verb that
+/// still needs resolution context to expand.
+enum Directive {
+    Event(LinkEvent),
+    /// `srlg <group>` — 0-based index into an SRLG group table.
+    Srlg(u32),
+    /// `node <id>` — fail every link incident to this node.
+    Node(u32),
+}
+
+/// The shared scripted-format reader: directives tagged with their 1-based
 /// source line so strict validation can point at the offending entry.
-fn parse_events(text: &str) -> Result<Vec<(usize, LinkEvent)>, TraceParseError> {
-    let mut events = Vec::new();
+fn parse_directives(text: &str) -> Result<Vec<(usize, Directive)>, TraceParseError> {
+    let mut directives = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         let mut parts = line.split_whitespace();
@@ -325,34 +461,40 @@ fn parse_events(text: &str) -> Result<Vec<(usize, LinkEvent)>, TraceParseError> 
             continue; // blank or comment-only line
         };
         let lineno = i + 1;
-        let event = match verb {
-            "down" => LinkEvent {
+        let directive = match verb {
+            "down" => Directive::Event(LinkEvent {
                 link: next_link(&mut parts, "down", lineno)?,
                 kind: EventKind::Down,
-            },
-            "up" => LinkEvent {
+            }),
+            "up" => Directive::Event(LinkEvent {
                 link: next_link(&mut parts, "up", lineno)?,
                 kind: EventKind::Up,
-            },
+            }),
             "wobble" => {
                 let link = next_link(&mut parts, "wobble", lineno)?;
-                let arg = parts.next().ok_or_else(|| TraceParseError {
-                    line: lineno,
-                    message: "`wobble` needs a permille after the link".to_string(),
-                })?;
-                let permille: u32 = arg.parse().map_err(|_| TraceParseError {
-                    line: lineno,
-                    message: format!("bad wobble permille {arg:?}"),
-                })?;
-                LinkEvent {
+                let permille = next_permille(&mut parts, "wobble", lineno)?;
+                Directive::Event(LinkEvent {
                     link,
                     kind: EventKind::Wobble { permille },
-                }
+                })
             }
+            "degrade" => {
+                let link = next_link(&mut parts, "degrade", lineno)?;
+                let permille = next_permille(&mut parts, "degrade", lineno)?;
+                Directive::Event(LinkEvent {
+                    link,
+                    kind: EventKind::Degrade { permille },
+                })
+            }
+            "srlg" => Directive::Srlg(next_index(&mut parts, "srlg", "group index", lineno)?),
+            "node" => Directive::Node(next_index(&mut parts, "node", "node index", lineno)?),
             other => {
                 return Err(TraceParseError {
                     line: lineno,
-                    message: format!("expected `down`, `up`, or `wobble`, got {other:?}"),
+                    message: format!(
+                        "expected `down`, `up`, `wobble`, `degrade`, `srlg`, or `node`, \
+                         got {other:?}"
+                    ),
                 })
             }
         };
@@ -362,9 +504,9 @@ fn parse_events(text: &str) -> Result<Vec<(usize, LinkEvent)>, TraceParseError> 
                 message: format!("trailing token {extra:?}"),
             });
         }
-        events.push((lineno, event));
+        directives.push((lineno, directive));
     }
-    Ok(events)
+    Ok(directives)
 }
 
 /// Reads and parses the `<link>` argument of a trace verb.
@@ -383,6 +525,39 @@ fn next_link(
         message: format!("bad link index {arg:?}"),
     })?;
     Ok(LinkId(link))
+}
+
+/// Reads the `<permille>` argument of `wobble` / `degrade`.
+fn next_permille(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    verb: &str,
+    lineno: usize,
+) -> Result<u32, TraceParseError> {
+    let arg = parts.next().ok_or_else(|| TraceParseError {
+        line: lineno,
+        message: format!("`{verb}` needs a permille after the link"),
+    })?;
+    arg.parse().map_err(|_| TraceParseError {
+        line: lineno,
+        message: format!("bad {verb} permille {arg:?}"),
+    })
+}
+
+/// Reads a bare numeric argument (`srlg <group>`, `node <id>`).
+fn next_index(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    verb: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<u32, TraceParseError> {
+    let arg = parts.next().ok_or_else(|| TraceParseError {
+        line: lineno,
+        message: format!("`{verb}` needs a {what}"),
+    })?;
+    arg.parse().map_err(|_| TraceParseError {
+        line: lineno,
+        message: format!("bad {what} {arg:?}"),
+    })
 }
 
 #[cfg(test)]
@@ -518,5 +693,91 @@ mod tests {
         assert_eq!(err.line, 1);
         // The lenient parser accepts all of those shapes.
         assert!(EventTrace::parse("t", "down 99\ndown 99\nup 3\nwobble 3 9999\n").is_ok());
+    }
+
+    #[test]
+    fn degrade_round_trips_and_is_range_checked() {
+        let topo = zoo::build("Sprint");
+        let t = EventTrace::parse_strict("t", "degrade 2 400\ndegrade e2 1000\n", &topo).unwrap();
+        assert_eq!(
+            t.events,
+            vec![
+                LinkEvent {
+                    link: LinkId(2),
+                    kind: EventKind::Degrade { permille: 400 },
+                },
+                LinkEvent {
+                    link: LinkId(2),
+                    kind: EventKind::Degrade { permille: 1000 },
+                },
+            ]
+        );
+        assert_eq!(EventTrace::parse("t", &t.to_text()).unwrap(), t);
+        // Degradation never counts as a concurrent failure.
+        assert_eq!(t.max_concurrent_down(), 0);
+        // Range 1..=1000: zero capacity and headroom are both rejected.
+        let err = EventTrace::parse_strict("t", "degrade 2 0\n", &topo).unwrap_err();
+        assert!(err.message.contains("out of range 1..=1000"), "{err}");
+        let err = EventTrace::parse_strict("t", "down 1\ndegrade 2 1001\n", &topo).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Missing / malformed arguments carry line numbers.
+        assert!(EventTrace::parse("t", "degrade 2").is_err());
+        assert!(EventTrace::parse("t", "degrade 2 x").is_err());
+    }
+
+    #[test]
+    fn srlg_and_node_verbs_expand_to_member_downs() {
+        let topo = zoo::build("Abilene");
+        let groups = vec![vec![LinkId(0), LinkId(3)], vec![LinkId(3), LinkId(5)]];
+        // Overlapping groups compose: e3 is already down when srlg 1 fires.
+        let t = EventTrace::parse_strict_with(
+            "t",
+            "srlg 0\nsrlg 1\nup 0\nup 3\nup 5\n",
+            &topo,
+            &groups,
+        )
+        .unwrap();
+        let downs: Vec<LinkId> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Down)
+            .map(|e| e.link)
+            .collect();
+        assert_eq!(downs, vec![LinkId(0), LinkId(3), LinkId(5)]);
+        assert_eq!(t.max_concurrent_down(), 3);
+        // node <id> fails exactly the incident links.
+        let n = pcf_topology::NodeId(0);
+        let t = EventTrace::parse_strict_with("t", "node 0\n", &topo, &groups).unwrap();
+        let expect: Vec<LinkId> = topo.links().filter(|&l| topo.link(l).touches(n)).collect();
+        let got: Vec<LinkId> = t.events.iter().map(|e| e.link).collect();
+        assert_eq!(got, expect);
+        assert!(t.events.iter().all(|e| e.kind == EventKind::Down));
+        // The expansion is a valid trace in its own right.
+        assert!(EventTrace::parse_strict("t", &t.to_text(), &topo).is_ok());
+    }
+
+    #[test]
+    fn correlated_verbs_are_validated_with_line_numbers() {
+        let topo = zoo::build("Abilene"); // 11 nodes
+        let groups = vec![vec![LinkId(0)]];
+        let err =
+            EventTrace::parse_strict_with("t", "srlg 0\nsrlg 7\n", &topo, &groups).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown srlg group 7"), "{err}");
+        let err = EventTrace::parse_strict_with("t", "node 99\n", &topo, &groups).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown node 99"), "{err}");
+        // plain parse_strict has no group table: every srlg index is unknown.
+        let err = EventTrace::parse_strict("t", "srlg 0\n", &topo).unwrap_err();
+        assert!(err.message.contains("table has 0 groups"), "{err}");
+        // The lenient parser can't resolve correlated verbs at all.
+        let err = EventTrace::parse("t", "srlg 0\n").unwrap_err();
+        assert!(err.message.contains("needs topology context"), "{err}");
+        let err = EventTrace::parse("t", "node 1\n").unwrap_err();
+        assert!(err.message.contains("needs topology context"), "{err}");
+        // Bad arguments.
+        assert!(EventTrace::parse("t", "srlg\n").is_err());
+        assert!(EventTrace::parse("t", "node x\n").is_err());
+        assert!(EventTrace::parse("t", "srlg 0 1\n").is_err());
     }
 }

@@ -290,6 +290,52 @@ fn degraded_replay_is_total_under_chaos() {
     );
 }
 
+/// Partial-capacity degradation threads through the batch path without
+/// breaking determinism: a mixed fleet of degradation storms, flaps, and
+/// interleaved degrade+failure traces produces byte-identical
+/// deterministic JSON (utilization and degrade digests included) at every
+/// thread count.
+#[test]
+fn degraded_capacity_batch_digests_are_thread_count_invariant() {
+    let (inst, a, b, served) = sprint_plan();
+    let inj = FaultInjector::new(77);
+    let mut traces: Vec<EventTrace> = (0..3)
+        .map(|s| EventTrace::flaps(inst.topo(), 30, 1, 700 + s))
+        .collect();
+    traces.push(inj.degradation_storm(inst.topo(), 40, 400));
+    // Interleave degradations with failures inside one trace.
+    let mut mixed = EventTrace::flaps(inst.topo(), 30, 1, 910);
+    let storm = inj.degradation_storm(inst.topo(), 30, 500);
+    mixed.events = mixed
+        .events
+        .iter()
+        .zip(&storm.events)
+        .flat_map(|(&x, &y)| [x, y])
+        .collect();
+    mixed.name = "mixed_degrade_flaps".into();
+    traces.push(mixed);
+    let run = |threads| {
+        let opts = ReplayOptions {
+            threads,
+            degrade: DegradeMode::Shed,
+            ..ReplayOptions::default()
+        };
+        replay_batch(&inst, &a, &b, &served, &traces, &opts)
+    };
+    let base = run(1);
+    assert!(base.events > 0);
+    let base_json = base.deterministic_json();
+    assert!(base_json.contains("\"utilization_digest\""));
+    for threads in [2, 3, 8] {
+        let r = run(threads);
+        assert_eq!(
+            base_json,
+            r.deterministic_json(),
+            "degraded batch diverged at {threads} threads"
+        );
+    }
+}
+
 /// The parser never panics on corrupt text, and when it rejects a trace
 /// the error points at a line inside it.
 #[test]

@@ -82,6 +82,7 @@ mod tests {
     use super::*;
     use pcf_core::RobustOptions;
     use pcf_topology::zoo;
+    use std::io::BufRead;
     use std::thread;
 
     fn abilene_spec() -> PlanSpec {
@@ -95,6 +96,7 @@ mod tests {
             max_pairs: 40,
             tol: 1e-6,
             opts: RobustOptions::default(),
+            srlgs: Vec::new(),
         }
     }
 
@@ -245,6 +247,153 @@ mod tests {
                 .request(r#"{"cmd":"admit","src":"Nowhere","dst":"Noplace","demand":1}"#)
                 .unwrap();
             assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+            client.request(r#"{"cmd":"shutdown"}"#).unwrap();
+        });
+    }
+
+    #[test]
+    fn correlated_and_degrade_verbs_flow_through_the_log() {
+        let spec = PlanSpec {
+            srlgs: vec![
+                vec![pcf_topology::LinkId(0), pcf_topology::LinkId(1)],
+                vec![pcf_topology::LinkId(2)],
+            ],
+            ..abilene_spec()
+        };
+        let server = Server::bind(spec, ServeOptions::default(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut client = ServeClient::connect(&addr).unwrap();
+            // SRLG burst: both members die as one command.
+            let burst = client.request(r#"{"cmd":"srlg","group":0}"#).unwrap();
+            assert_eq!(burst.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(burst.get("downed").and_then(Json::as_u64), Some(2));
+            assert_eq!(burst.get("dead_links").and_then(Json::as_u64), Some(2));
+            // Overlap composes: group 1 adds one more dead link.
+            let more = client.request(r#"{"cmd":"srlg","group":1}"#).unwrap();
+            assert_eq!(more.get("dead_links").and_then(Json::as_u64), Some(3));
+            // Out-of-range group is a structured error.
+            let bad = client.request(r#"{"cmd":"srlg","group":9}"#).unwrap();
+            assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(bad
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("unknown srlg group"));
+            // Reset, then a node failure: every incident link goes down.
+            client.request(r#"{"cmd":"reset"}"#).unwrap();
+            let node = client.request(r#"{"cmd":"node","node":0}"#).unwrap();
+            let downed = node.get("downed").and_then(Json::as_u64).unwrap();
+            assert!(downed >= 1);
+            assert_eq!(node.get("dead_links").and_then(Json::as_u64), Some(downed));
+            let bad_node = client.request(r#"{"cmd":"node","node":999}"#).unwrap();
+            assert_eq!(bad_node.get("ok").and_then(Json::as_bool), Some(false));
+            // Reset again; degrade must still realize (reservations
+            // rescale under the shrunken capacity), and reset clears it.
+            client.request(r#"{"cmd":"reset"}"#).unwrap();
+            let resps = client
+                .request_batch(&[
+                    r#"{"cmd":"degrade","link":0,"permille":500}"#,
+                    r#"{"cmd":"realize"}"#,
+                    r#"{"cmd":"reset"}"#,
+                    r#"{"cmd":"realize"}"#,
+                    r#"{"cmd":"shutdown"}"#,
+                ])
+                .unwrap();
+            assert_eq!(resps[1].get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(resps[3].get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(resps[3].get("stage").and_then(Json::as_str), Some("normal"));
+            assert_eq!(resps[3].get("dead_links").and_then(Json::as_u64), Some(0));
+        });
+    }
+
+    #[test]
+    fn rebase_republishes_against_new_capacities() {
+        let server = boot();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut client = ServeClient::connect(&addr).unwrap();
+            let first = client.request(r#"{"cmd":"plan"}"#).unwrap();
+            // Halve link 0's nominal capacity, permanently.
+            let ack = client
+                .request(r#"{"cmd":"rebase","link":0,"permille":500}"#)
+                .unwrap();
+            assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+            let waited = client
+                .request(r#"{"cmd":"wait","gen":2,"timeout_ms":60000}"#)
+                .unwrap();
+            assert_eq!(waited.get("ok").and_then(Json::as_bool), Some(true));
+            let second = client.request(r#"{"cmd":"plan"}"#).unwrap();
+            assert_eq!(second.get("gen").and_then(Json::as_u64), Some(2));
+            // A capacity change re-solves into a different plan.
+            assert_ne!(
+                first.get("plan_digest").and_then(Json::as_str),
+                second.get("plan_digest").and_then(Json::as_str)
+            );
+            let bad = client
+                .request(r#"{"cmd":"rebase","link":999999,"permille":500}"#)
+                .unwrap();
+            assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+            client.request(r#"{"cmd":"shutdown"}"#).unwrap();
+        });
+    }
+
+    #[test]
+    fn connection_cap_rejects_with_busy_line() {
+        let opts = ServeOptions {
+            max_conns: 1,
+            ..ServeOptions::default()
+        };
+        let server = Server::bind(abilene_spec(), opts, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            let mut first = ServeClient::connect(&addr).unwrap();
+            // A completed request proves the slot is held.
+            first.request(r#"{"cmd":"ping"}"#).unwrap();
+            // The second connection gets one busy line, then EOF.
+            let over = std::net::TcpStream::connect(&addr).unwrap();
+            let mut line = String::new();
+            std::io::BufReader::new(over).read_line(&mut line).unwrap();
+            let busy = Json::parse(line.trim()).unwrap();
+            assert_eq!(busy.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(busy.get("busy").and_then(Json::as_bool), Some(true));
+            first.request(r#"{"cmd":"shutdown"}"#).unwrap();
+        });
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let opts = ServeOptions {
+            idle_timeout_ms: 60,
+            read_timeout_ms: 10,
+            ..ServeOptions::default()
+        };
+        let server = Server::bind(abilene_spec(), opts, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        thread::scope(|s| {
+            s.spawn(|| server.run());
+            // Connect and send nothing: the server must reap us with a
+            // final explanatory line.
+            let idle = std::net::TcpStream::connect(&addr).unwrap();
+            let mut reader = std::io::BufReader::new(idle);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let reaped = Json::parse(line.trim()).unwrap();
+            assert_eq!(reaped.get("ok").and_then(Json::as_bool), Some(false));
+            assert!(reaped
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("idle timeout"));
+            // And the socket is closed afterwards.
+            line.clear();
+            assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+            // A live client still gets served.
+            let mut client = ServeClient::connect(&addr).unwrap();
+            client.request(r#"{"cmd":"ping"}"#).unwrap();
             client.request(r#"{"cmd":"shutdown"}"#).unwrap();
         });
     }

@@ -47,13 +47,14 @@ impl std::fmt::Display for LogFull {
 
 impl std::error::Error for LogFull {}
 
-// Slot encoding: bit 63 = published; bits 62..32 = permille (wobble);
-// bits 31..2 = link index; bits 1..0 = kind.
+// Slot encoding: bit 63 = published; bits 62..32 = permille
+// (wobble/degrade); bits 31..3 = link index; bits 2..0 = kind.
 const PUBLISHED: u64 = 1 << 63;
 const KIND_DOWN: u64 = 0;
 const KIND_UP: u64 = 1;
 const KIND_WOBBLE: u64 = 2;
 const KIND_RESET: u64 = 3;
+const KIND_DEGRADE: u64 = 4;
 
 /// Append-only bounded event log over preallocated atomic slots.
 pub struct EventLog {
@@ -87,12 +88,15 @@ impl EventLog {
         let encoded = match event {
             LogEvent::Reset => KIND_RESET,
             LogEvent::Link(ev) => {
-                let link = u64::from(ev.link.0) << 2;
+                let link = u64::from(ev.link.0) << 3;
                 match ev.kind {
                     EventKind::Down => KIND_DOWN | link,
                     EventKind::Up => KIND_UP | link,
                     EventKind::Wobble { permille } => {
                         KIND_WOBBLE | link | (u64::from(permille) << 32)
+                    }
+                    EventKind::Degrade { permille } => {
+                        KIND_DEGRADE | link | (u64::from(permille) << 32)
                     }
                 }
             }
@@ -123,8 +127,9 @@ impl EventLog {
             // audit:allow(panic-reachability, same in-range index as the load above)
             encoded = self.slots[idx].load(Ordering::Acquire);
         }
-        let kind = encoded & 0b11;
-        let link = LinkId(((encoded >> 2) & 0x3fff_ffff) as u32);
+        let kind = encoded & 0b111;
+        let link = LinkId(((encoded >> 3) & 0x1fff_ffff) as u32);
+        let permille = ((encoded >> 32) & 0x7fff_ffff) as u32;
         match kind {
             KIND_RESET => LogEvent::Reset,
             KIND_DOWN => LogEvent::Link(LinkEvent {
@@ -135,11 +140,13 @@ impl EventLog {
                 link,
                 kind: EventKind::Up,
             }),
+            KIND_DEGRADE => LogEvent::Link(LinkEvent {
+                link,
+                kind: EventKind::Degrade { permille },
+            }),
             _ => LogEvent::Link(LinkEvent {
                 link,
-                kind: EventKind::Wobble {
-                    permille: ((encoded >> 32) & 0x7fff_ffff) as u32,
-                },
+                kind: EventKind::Wobble { permille },
             }),
         }
     }
@@ -166,12 +173,16 @@ mod tests {
                 link: LinkId(7),
                 kind: EventKind::Wobble { permille: 250 },
             }),
+            LogEvent::Link(LinkEvent {
+                link: LinkId(9),
+                kind: EventKind::Degrade { permille: 600 },
+            }),
             LogEvent::Reset,
         ];
         for (i, ev) in events.iter().enumerate() {
             assert_eq!(log.push(*ev).unwrap(), i);
         }
-        assert_eq!(log.tail(), 4);
+        assert_eq!(log.tail(), 5);
         for (i, ev) in events.iter().enumerate() {
             assert_eq!(log.get(i), *ev);
         }

@@ -30,7 +30,7 @@ use pcf_core::{
     solve_pcf_tf_seeded, tunnel_instance, CutPool, FailureModel, Instance, RobustOptions,
 };
 use pcf_replay::SharedFactorCache;
-use pcf_topology::Topology;
+use pcf_topology::{LinkId, Topology};
 use pcf_traffic::gravity;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -96,6 +96,9 @@ pub struct PlanSpec {
     pub tol: f64,
     /// Cutting-plane engine options.
     pub opts: RobustOptions,
+    /// Shared-risk link groups the `srlg` protocol verb may fire as
+    /// correlated bursts (empty: the verb reports an error).
+    pub srlgs: Vec<Vec<LinkId>>,
 }
 
 /// One immutable solved plan, shared by every reader at its generation.
@@ -314,6 +317,7 @@ mod tests {
             max_pairs: 40,
             tol: 1e-6,
             opts: RobustOptions::default(),
+            srlgs: Vec::new(),
         }
     }
 
@@ -344,9 +348,7 @@ mod tests {
 
         // Warm re-solve at a new scale: same plan as the cold solve of the
         // same inputs, and the seeding is visible in warm_cuts.
-        let (warm, next) = spec
-            .solve_epoch_seeded(2, 0.8, 1, 16, Some(&pool))
-            .unwrap();
+        let (warm, next) = spec.solve_epoch_seeded(2, 0.8, 1, 16, Some(&pool)).unwrap();
         assert_eq!(warm.warm_cuts, pool.len());
         assert!(next.is_some());
         let cold = spec.solve_epoch(2, 0.8, 1, 16).unwrap();
@@ -369,7 +371,9 @@ mod tests {
             tunnels: 2,
             ..abilene_spec()
         };
-        let (epoch, _) = other.solve_epoch_seeded(1, 1.0, 1, 16, Some(&pool)).unwrap();
+        let (epoch, _) = other
+            .solve_epoch_seeded(1, 1.0, 1, 16, Some(&pool))
+            .unwrap();
         assert_eq!(epoch.warm_cuts, 0);
     }
 

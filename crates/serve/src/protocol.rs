@@ -7,6 +7,10 @@
 //! {"cmd":"down","link":3}                       ⇒ {"ok":true,"gen":1,"dead_links":1}
 //! {"cmd":"up","link":3}                         ⇒ {"ok":true,"gen":1,"dead_links":0}
 //! {"cmd":"wobble","link":3,"permille":500}      ⇒ {"ok":true,"gen":1,"dead_links":0}
+//! {"cmd":"degrade","link":3,"permille":500}     ⇒ {"ok":true,"gen":1,"dead_links":0}
+//! {"cmd":"srlg","group":0}                      ⇒ {"ok":true,"gen":1,"dead_links":2,"downed":2}
+//! {"cmd":"node","node":4}                       ⇒ {"ok":true,"gen":1,"dead_links":3,"downed":3}
+//! {"cmd":"rebase","link":3,"permille":500}      ⇒ {"ok":true,"gen":1}      (new plan published later)
 //! {"cmd":"reset"}                               ⇒ {"ok":true,"gen":1,"dead_links":0}
 //! {"cmd":"realize"}                             ⇒ {"ok":true,"gen":1,"stage":"normal","max_utilization":0.7,"shed":0,"dead_links":0}
 //! {"cmd":"util","limit":3}                      ⇒ {"ok":true,"gen":1,"max_utilization":0.7,"hot_arcs":[{"arc":4,"utilization":0.7}]}
@@ -46,7 +50,37 @@ pub enum Request {
         /// New capacity in permille of nominal.
         permille: u32,
     },
-    /// Clear all failures and wobbles.
+    /// Partially degrade a link's capacity: unlike `wobble`, the
+    /// realization sees it (reservations rescale) and it participates in
+    /// the factor-cache key.
+    Degrade {
+        /// Link index.
+        link: u32,
+        /// Surviving capacity in permille of nominal (1..=1000; 1000
+        /// restores).
+        permille: u32,
+    },
+    /// Fire a shared-risk link group: every member link goes down as one
+    /// correlated burst.
+    Srlg {
+        /// Group index into the served plan's SRLG table.
+        group: u32,
+    },
+    /// Fail a node: every incident link goes down.
+    Node {
+        /// Node index.
+        node: u32,
+    },
+    /// Permanently rebase a link's nominal capacity to `permille` of its
+    /// current nominal, and re-solve the plan against the new topology.
+    Rebase {
+        /// Link index.
+        link: u32,
+        /// New nominal capacity in permille of the current nominal
+        /// (1..=10000 — rebases can add capacity too).
+        permille: u32,
+    },
+    /// Clear all failures, wobbles, and degradations.
     Reset,
     /// Realize the routing for the current failure state.
     Realize,
@@ -113,6 +147,46 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .filter(|&p| p <= 1000)
                 .ok_or("wobble: needs \"permille\" in 0..=1000")?;
             Ok(Request::Wobble {
+                link: link(&v)?,
+                permille: permille as u32,
+            })
+        }
+        "degrade" => {
+            let permille = v
+                .get("permille")
+                .and_then(Json::as_u64)
+                .filter(|&p| (1..=1000).contains(&p))
+                .ok_or("degrade: needs \"permille\" in 1..=1000 (script total loss as down)")?;
+            Ok(Request::Degrade {
+                link: link(&v)?,
+                permille: permille as u32,
+            })
+        }
+        "srlg" => {
+            let group = v
+                .get("group")
+                .and_then(Json::as_u64)
+                .filter(|&g| g < (1 << 30))
+                .ok_or("srlg: needs \"group\" (index < 2^30)")?;
+            Ok(Request::Srlg {
+                group: group as u32,
+            })
+        }
+        "node" => {
+            let node = v
+                .get("node")
+                .and_then(Json::as_u64)
+                .filter(|&n| n < (1 << 30))
+                .ok_or("node: needs \"node\" (index < 2^30)")?;
+            Ok(Request::Node { node: node as u32 })
+        }
+        "rebase" => {
+            let permille = v
+                .get("permille")
+                .and_then(Json::as_u64)
+                .filter(|&p| (1..=10_000).contains(&p))
+                .ok_or("rebase: needs \"permille\" in 1..=10000")?;
+            Ok(Request::Rebase {
                 link: link(&v)?,
                 permille: permille as u32,
             })
@@ -206,6 +280,28 @@ mod tests {
             })
         );
         assert_eq!(
+            parse_request(r#"{"cmd":"degrade","link":2,"permille":500}"#),
+            Ok(Request::Degrade {
+                link: 2,
+                permille: 500
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"srlg","group":1}"#),
+            Ok(Request::Srlg { group: 1 })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"node","node":4}"#),
+            Ok(Request::Node { node: 4 })
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"rebase","link":3,"permille":2000}"#),
+            Ok(Request::Rebase {
+                link: 3,
+                permille: 2000
+            })
+        );
+        assert_eq!(
             parse_request(r#"{"cmd":"admit","src":"A","dst":"B","demand":1.5}"#),
             Ok(Request::Admit {
                 src: "A".into(),
@@ -241,6 +337,12 @@ mod tests {
             (r#"{"cmd":"warp"}"#, "unknown command"),
             (r#"{"cmd":"down"}"#, "link"),
             (r#"{"cmd":"wobble","link":1,"permille":2000}"#, "permille"),
+            (r#"{"cmd":"degrade","link":1,"permille":0}"#, "permille"),
+            (r#"{"cmd":"degrade","link":1,"permille":1001}"#, "permille"),
+            (r#"{"cmd":"srlg"}"#, "group"),
+            (r#"{"cmd":"node"}"#, "node"),
+            (r#"{"cmd":"rebase","link":1,"permille":0}"#, "permille"),
+            (r#"{"cmd":"rebase","link":1,"permille":20000}"#, "permille"),
             (
                 r#"{"cmd":"admit","src":"A","dst":"B","demand":-1}"#,
                 "demand",

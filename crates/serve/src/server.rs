@@ -31,7 +31,7 @@ use pcf_core::{
 use pcf_replay::{EventKind, LinkEvent, ReplayEngine};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
@@ -50,6 +50,12 @@ pub struct ServeOptions {
     /// Connection read timeout — bounds how long shutdown waits on an
     /// idle connection.
     pub read_timeout_ms: u64,
+    /// Concurrent-connection cap; further clients get a one-line
+    /// `{"ok":false,...,"busy":true}` reject and a close. `0` = unlimited.
+    pub max_conns: usize,
+    /// Reap a connection after this long without a complete request
+    /// (`{"ok":false,"error":"idle timeout..."}` then close). `0` = never.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -60,14 +66,19 @@ impl Default for ServeOptions {
             event_log_capacity: 65_536,
             max_admit_evals: 200_000,
             read_timeout_ms: 25,
+            max_conns: 64,
+            idle_timeout_ms: 0,
         }
     }
 }
 
-/// An `update` command in flight to the solver thread.
+/// An `update`/`rebase` command in flight to the solver thread.
 struct UpdateCmd {
     scale: Option<f64>,
     seed: Option<u64>,
+    /// Permanent capacity rebase: link index and the new nominal capacity
+    /// in permille of the current nominal.
+    rebase: Option<(u32, u32)>,
 }
 
 enum Action {
@@ -84,6 +95,10 @@ pub struct Server {
     log: EventLog,
     telemetry: Telemetry,
     shutdown: AtomicBool,
+    /// Live connection count, maintained by the acceptor (up) and the
+    /// connection threads (down); only the acceptor reads it for the cap
+    /// check, so the cap is never exceeded.
+    active: AtomicUsize,
 }
 
 impl Server {
@@ -101,6 +116,7 @@ impl Server {
             log,
             telemetry: Telemetry::default(),
             shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
         })
     }
 
@@ -129,12 +145,31 @@ impl Server {
                         if self.shutdown.load(Ordering::Acquire) {
                             break;
                         }
+                        let active = self.active.load(Ordering::Acquire);
+                        if self.opts.max_conns > 0 && active >= self.opts.max_conns {
+                            // Graceful reject: one JSON line, then close —
+                            // the client can back off and retry rather
+                            // than hang on an unaccepted socket.
+                            Telemetry::bump(&self.telemetry.busy_rejects);
+                            let mut w = BufWriter::new(stream);
+                            let _ = w.write_all(
+                                format!(
+                                    "{{\"ok\":false,\"error\":\"busy: {active} connections \
+                                     active (max {})\",\"busy\":true}}\n",
+                                    self.opts.max_conns
+                                )
+                                .as_bytes(),
+                            );
+                            continue;
+                        }
+                        self.active.fetch_add(1, Ordering::AcqRel);
                         Telemetry::bump(&self.telemetry.connections);
                         let tx = tx.clone();
                         s.spawn(move || {
                             // A dropped/reset connection is that client's
                             // problem, not the server's.
                             let _ = self.handle_conn(stream, tx);
+                            self.active.fetch_sub(1, Ordering::AcqRel);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -161,6 +196,10 @@ impl Server {
         // The previous epoch's cut pool, carried across re-solves so each
         // epoch's master starts from the scenarios that bound the last one.
         let mut pool: Option<pcf_core::CutPool> = None;
+        // The solver's view of the topology: `rebase` commands mutate it
+        // permanently, and every later re-solve (rebase or not) builds
+        // against the accumulated capacities.
+        let mut spec = self.spec.clone();
         loop {
             match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(cmd) => {
@@ -168,7 +207,12 @@ impl Server {
                     let gen = current.gen + 1;
                     let scale = cmd.scale.unwrap_or(current.scale);
                     let seed = cmd.seed.unwrap_or(current.seed);
-                    match self.spec.solve_epoch_seeded(
+                    if let Some((link, permille)) = cmd.rebase {
+                        let l = pcf_topology::LinkId(link);
+                        let cap = spec.topo.capacity(l) * f64::from(permille) / 1000.0;
+                        spec.topo.set_capacity(l, cap);
+                    }
+                    match spec.solve_epoch_seeded(
                         gen,
                         scale,
                         seed,
@@ -252,8 +296,26 @@ impl Server {
                         if reader.buffer().is_empty() {
                             writer.flush()?;
                         }
-                        match read_line_shutdown_aware(&mut reader, &mut line, &self.shutdown)? {
+                        match read_line_shutdown_aware(
+                            &mut reader,
+                            &mut line,
+                            &self.shutdown,
+                            self.opts.idle_timeout_ms,
+                        )? {
                             ReadOutcome::Closed => return Ok(()),
+                            ReadOutcome::Idle => {
+                                Telemetry::bump(&self.telemetry.idle_reaps);
+                                let _ = writer.write_all(
+                                    format!(
+                                        "{{\"ok\":false,\"error\":\"idle timeout \
+                                         ({} ms), closing\"}}\n",
+                                        self.opts.idle_timeout_ms
+                                    )
+                                    .as_bytes(),
+                                );
+                                let _ = writer.flush();
+                                return Ok(());
+                            }
                             ReadOutcome::Line => line.clone(),
                         }
                     }
@@ -328,6 +390,62 @@ impl Server {
                     })
                 })
             }
+            Request::Degrade { link, permille } => {
+                self.handle_event(epoch, engine, applied, link, move |link| {
+                    LogEvent::Link(LinkEvent {
+                        link,
+                        kind: EventKind::Degrade { permille },
+                    })
+                })
+            }
+            Request::Srlg { group } => {
+                let Some(members) = self.spec.srlgs.get(group as usize) else {
+                    Telemetry::bump(&self.telemetry.protocol_errors);
+                    return Action::Respond(error_response(&format!(
+                        "unknown srlg group {group} (table has {} groups)",
+                        self.spec.srlgs.len()
+                    )));
+                };
+                self.handle_burst(epoch, engine, applied, members.clone())
+            }
+            Request::Node { node } => {
+                let topo = epoch.inst.topo();
+                if (node as usize) >= topo.node_count() {
+                    Telemetry::bump(&self.telemetry.protocol_errors);
+                    return Action::Respond(error_response(&format!(
+                        "node {node} out of range (topology has {} nodes)",
+                        topo.node_count()
+                    )));
+                }
+                let n = pcf_topology::NodeId(node);
+                let members: Vec<pcf_topology::LinkId> =
+                    topo.links().filter(|&l| topo.link(l).touches(n)).collect();
+                self.handle_burst(epoch, engine, applied, members)
+            }
+            Request::Rebase { link, permille } => {
+                let topo = epoch.inst.topo();
+                if (link as usize) >= topo.link_count() {
+                    Telemetry::bump(&self.telemetry.protocol_errors);
+                    return Action::Respond(error_response(&format!(
+                        "link {link} out of range (topology has {} links)",
+                        topo.link_count()
+                    )));
+                }
+                match tx.send(UpdateCmd {
+                    scale: None,
+                    seed: None,
+                    rebase: Some((link, permille)),
+                }) {
+                    Ok(()) => Action::Respond(
+                        Json::Obj(vec![
+                            ("ok".into(), Json::Bool(true)),
+                            ("gen".into(), Json::Num(epoch.gen as f64)),
+                        ])
+                        .render(),
+                    ),
+                    Err(_) => Action::Respond(error_response("solver unavailable")),
+                }
+            }
             Request::Reset => self.handle_event(epoch, engine, applied, 0, |_| LogEvent::Reset),
             Request::Realize => self.handle_realize(epoch, engine, applied, 0, false),
             Request::Util { limit } => self.handle_realize(epoch, engine, applied, limit, true),
@@ -343,7 +461,11 @@ impl Server {
                     report.deterministic_json()
                 ))
             }
-            Request::Update { scale, seed } => match tx.send(UpdateCmd { scale, seed }) {
+            Request::Update { scale, seed } => match tx.send(UpdateCmd {
+                scale,
+                seed,
+                rebase: None,
+            }) {
                 Ok(()) => Action::Respond(
                     Json::Obj(vec![
                         ("ok".into(), Json::Bool(true)),
@@ -421,6 +543,42 @@ impl Server {
                 ("ok".into(), Json::Bool(true)),
                 ("gen".into(), Json::Num(epoch.gen as f64)),
                 ("dead_links".into(), Json::Num(engine.dead_links() as f64)),
+            ])
+            .render(),
+        )
+    }
+
+    /// Applies a correlated burst (SRLG group or node failure): one Down
+    /// log entry per member link, appended in member order. Redundant
+    /// downs of already-dead links are no-ops in every reader's engine,
+    /// so concurrent bursts over overlapping groups compose cleanly.
+    fn handle_burst(
+        &self,
+        epoch: &PlanEpoch,
+        engine: &mut ReplayEngine<'_>,
+        applied: &mut usize,
+        members: Vec<pcf_topology::LinkId>,
+    ) -> Action {
+        let sw = Stopwatch::start();
+        for &l in &members {
+            if let Err(e) = self.log.push(LogEvent::Link(LinkEvent {
+                link: l,
+                kind: EventKind::Down,
+            })) {
+                return Action::Respond(error_response(&e.to_string()));
+            }
+            Telemetry::bump(&self.telemetry.events);
+        }
+        if let Err(e) = sync_engine(epoch, engine, &self.log, applied) {
+            return Action::Respond(error_response(&format!("event replay failed: {e}")));
+        }
+        self.telemetry.event_latency.record(sw.elapsed_ns());
+        Action::Respond(
+            Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("gen".into(), Json::Num(epoch.gen as f64)),
+                ("dead_links".into(), Json::Num(engine.dead_links() as f64)),
+                ("downed".into(), Json::Num(members.len() as f64)),
             ])
             .render(),
         )
@@ -616,9 +774,11 @@ fn sync_engine(
     Ok(())
 }
 
-/// Applies a reset as ordinary events: revive every dead link, restore
-/// every wobbled capacity to nominal. Expressing reset in the engine's
-/// own event vocabulary keeps replay append-only.
+/// Applies a reset as ordinary events: revive every dead link, clear
+/// every partial degradation, restore every wobbled capacity to nominal.
+/// Expressing reset in the engine's own event vocabulary keeps replay
+/// append-only. Degradations restore before the wobble check so the
+/// remaining capacity deficit (if any) is attributable to wobble alone.
 fn reset_engine(epoch: &PlanEpoch, engine: &mut ReplayEngine<'_>) -> Result<(), RealizeError> {
     let topo = epoch.inst.topo();
     let state = engine.state();
@@ -627,6 +787,14 @@ fn reset_engine(epoch: &PlanEpoch, engine: &mut ReplayEngine<'_>) -> Result<(), 
             engine.apply(&LinkEvent {
                 link: l,
                 kind: EventKind::Up,
+            })?;
+        }
+        // cap_scale is exactly permille/1000, so a degraded link sits
+        // strictly below 1.0 — no epsilon needed.
+        if state.cap_scale[l.index()] < 1.0 {
+            engine.apply(&LinkEvent {
+                link: l,
+                kind: EventKind::Degrade { permille: 1000 },
             })?;
         }
         if engine.capacity(l) != topo.capacity(l) {
@@ -642,16 +810,22 @@ fn reset_engine(epoch: &PlanEpoch, engine: &mut ReplayEngine<'_>) -> Result<(), 
 enum ReadOutcome {
     Line,
     Closed,
+    /// No complete request arrived within the idle budget.
+    Idle,
 }
 
 /// `read_line` with shutdown polling: timeouts loop (partial bytes stay
-/// appended in `line`, so a line split across timeouts reassembles), and
-/// a set shutdown flag reads as a clean close.
+/// appended in `line`, so a line split across timeouts reassembles), a
+/// set shutdown flag reads as a clean close, and — when `idle_timeout_ms`
+/// is nonzero — a connection that produces no complete request within the
+/// budget reads as [`ReadOutcome::Idle`] so the caller can reap it.
 fn read_line_shutdown_aware(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
     shutdown: &AtomicBool,
+    idle_timeout_ms: u64,
 ) -> io::Result<ReadOutcome> {
+    let sw = Stopwatch::start();
     loop {
         match reader.read_line(line) {
             Ok(0) => return Ok(ReadOutcome::Closed),
@@ -664,6 +838,9 @@ fn read_line_shutdown_aware(
             {
                 if shutdown.load(Ordering::Acquire) {
                     return Ok(ReadOutcome::Closed);
+                }
+                if idle_timeout_ms > 0 && sw.elapsed_ms() >= idle_timeout_ms {
+                    return Ok(ReadOutcome::Idle);
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}

@@ -137,6 +137,10 @@ pub struct Telemetry {
     pub cold_epochs: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections rejected at the cap with a `busy` line.
+    pub busy_rejects: AtomicU64,
+    /// Connections reaped for exceeding the idle timeout.
+    pub idle_reaps: AtomicU64,
     /// Lines that failed to parse or named an unknown command.
     pub protocol_errors: AtomicU64,
     /// Per-ladder-stage realization outcomes
@@ -181,6 +185,8 @@ impl Telemetry {
             warm_epochs: load(&self.warm_epochs),
             cold_epochs: load(&self.cold_epochs),
             connections: load(&self.connections),
+            busy_rejects: load(&self.busy_rejects),
+            idle_reaps: load(&self.idle_reaps),
             protocol_errors: load(&self.protocol_errors),
             degrade: [
                 load(&self.degrade[0]),
@@ -222,6 +228,10 @@ pub struct ServeReport {
     pub cold_epochs: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Connections rejected at the cap.
+    pub busy_rejects: u64,
+    /// Connections reaped for idling past the timeout.
+    pub idle_reaps: u64,
     /// Malformed or unknown commands.
     pub protocol_errors: u64,
     /// Ladder-stage outcomes (normal, rescaled, shed, failed).
@@ -245,7 +255,7 @@ impl ServeReport {
             "{{\"gen\":{},\"plan_digest\":\"{:016x}\",\"queries\":{},\"events\":{},\
              \"admitted\":{},\"rejected\":{},\"swaps\":{},\"solve_failures\":{},\
              \"warm_epochs\":{},\"cold_epochs\":{},\
-             \"connections\":{},\"protocol_errors\":{},\
+             \"connections\":{},\"busy_rejects\":{},\"idle_reaps\":{},\"protocol_errors\":{},\
              \"degrade\":{{\"normal\":{},\"rescaled\":{},\"shed\":{},\"failed\":{}}},\
              \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"errors\":{}}},\
              \"latency_ns\":{{\"query_p50\":{},\"query_p99\":{},\"event_p50\":{},\"event_p99\":{}}}}}",
@@ -260,6 +270,8 @@ impl ServeReport {
             self.warm_epochs,
             self.cold_epochs,
             self.connections,
+            self.busy_rejects,
+            self.idle_reaps,
             self.protocol_errors,
             self.degrade[0],
             self.degrade[1],

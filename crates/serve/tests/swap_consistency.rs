@@ -23,6 +23,7 @@ fn abilene_spec() -> PlanSpec {
         max_pairs: 40,
         tol: 1e-6,
         opts: pcf_core::RobustOptions::default(),
+        srlgs: Vec::new(),
     }
 }
 

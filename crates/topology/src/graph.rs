@@ -266,6 +266,13 @@ impl Topology {
         self.links[l.index()].capacity
     }
 
+    /// Sets link `l`'s per-direction capacity (a permanent topology
+    /// update — the serving daemon's `rebase` verb re-solves against it).
+    pub fn set_capacity(&mut self, l: LinkId, capacity: f64) {
+        assert!(capacity.is_finite() && capacity > 0.0);
+        self.links[l.index()].capacity = capacity;
+    }
+
     /// Rescales every link capacity by `factor` (used when normalising MLU).
     pub fn scale_capacities(&mut self, factor: f64) {
         assert!(factor.is_finite() && factor > 0.0);

@@ -7,12 +7,16 @@
 //! * [`zoo`] — deterministic synthetic stand-ins for the paper's 21
 //!   Internet Topology Zoo evaluation networks (Table 3);
 //! * [`gml`] — a parser for real Topology Zoo GML files;
+//! * [`srlg`] — shared-risk link group sidecar files (`foo.srlg`), parsed
+//!   strictly with line-numbered diagnostics;
 //! * [`transform`] — the paper's preprocessing steps (recursive degree-one
 //!   pruning, sub-link splitting for multi-failure experiments).
 
 pub mod gml;
 pub mod graph;
+pub mod srlg;
 pub mod transform;
 pub mod zoo;
 
 pub use graph::{ArcId, Link, LinkId, NodeId, Topology};
+pub use srlg::{SrlgGroup, SrlgParseError, SrlgSet};
